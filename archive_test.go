@@ -1,0 +1,62 @@
+package riskybiz
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/sim"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+// TestDetectionFromArchivedDataset archives the zone database and WHOIS
+// history, reloads them, and re-runs detection with the public registry
+// directory — the "work from saved data" path must yield exactly the
+// same funnel and classification as the in-memory run.
+func TestDetectionFromArchivedDataset(t *testing.T) {
+	st := sharedStudy(t)
+
+	var zbuf, wbuf bytes.Buffer
+	if err := st.World.ZoneDB().WriteArchive(&zbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.World.WHOIS().WriteArchive(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := zonedb.ReadFrom(&zbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	who, err := whois.ReadFrom(&wbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det := &detect.Detector{
+		DB:    db,
+		WHOIS: who,
+		Dir:   sim.StandardDirectory(),
+		Cfg:   detect.Config{SkipMining: true},
+	}
+	res := det.Run()
+
+	orig := st.Result.Funnel
+	got := res.Funnel
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("funnel differs after archive round trip:\n  live    %+v\n  archive %+v", orig, got)
+	}
+	// Spot-check classification parity for every live detection.
+	for i := range st.Result.Sacrificial {
+		s := &st.Result.Sacrificial[i]
+		r := res.Lookup(s.NS)
+		if r == nil {
+			t.Fatalf("%s missing after archive round trip", s.NS)
+		}
+		if r.Idiom != s.Idiom || r.Created != s.Created || r.HijackedOn != s.HijackedOn {
+			t.Fatalf("%s differs: live %v/%v/%v vs archive %v/%v/%v",
+				s.NS, s.Idiom, s.Created, s.HijackedOn, r.Idiom, r.Created, r.HijackedOn)
+		}
+	}
+}

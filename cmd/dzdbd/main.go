@@ -1,0 +1,70 @@
+// Command dzdbd serves the longitudinal zone database over HTTP — the
+// study's equivalent of CAIDA's DZDB research-access API. The database
+// comes either from a fresh simulation or from an archive produced by
+// `riskybiz -save-data`.
+//
+// Usage:
+//
+//	dzdbd [-addr :8053] [-scale 6] [-seed 1]
+//	dzdbd [-addr :8053] -load dataset.dzdb
+//
+// Then:
+//
+//	curl http://localhost:8053/stats
+//	curl http://localhost:8053/domains/whitecounty.net
+//	curl http://localhost:8053/zones/com/snapshot?date=2016-07-15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/dzdbapi"
+	"repro/internal/sim"
+	"repro/internal/zonedb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8053", "HTTP listen address")
+	scale := flag.Float64("scale", 6, "mean new registrations per day (ignored with -load)")
+	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
+	load := flag.String("load", "", "load a zone-database archive instead of simulating")
+	flag.Parse()
+
+	var db *zonedb.DB
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatalf("dzdbd: %v", err)
+		}
+		db, err = zonedb.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("dzdbd: %v", err)
+		}
+		fmt.Printf("dzdbd: loaded %s: %d domains, %d nameservers\n",
+			*load, db.NumDomains(), db.NumNameservers())
+	} else {
+		cfg := sim.DefaultConfig(*scale)
+		cfg.Seed = *seed
+		world, err := sim.NewWorld(cfg)
+		if err != nil {
+			log.Fatalf("dzdbd: %v", err)
+		}
+		fmt.Printf("dzdbd: simulating %s..%s at %.0f registrations/day...\n",
+			cfg.Start, cfg.End, *scale)
+		if err := world.Run(); err != nil {
+			log.Fatalf("dzdbd: %v", err)
+		}
+		db = world.ZoneDB()
+		fmt.Printf("dzdbd: %d domains, %d nameservers observed\n",
+			db.NumDomains(), db.NumNameservers())
+	}
+	fmt.Printf("dzdbd: serving on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, dzdbapi.New(db)); err != nil {
+		log.Fatalf("dzdbd: %v", err)
+	}
+}

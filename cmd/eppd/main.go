@@ -1,0 +1,57 @@
+// Command eppd runs an EPP protocol server for a standalone registry —
+// a sandbox for exercising RFC 5731/5732 semantics (including the
+// host-rename loophole) with the eppclient package or any framed-XML
+// client.
+//
+// Usage:
+//
+//	eppd [-addr :7700] [-registry Verisign] [-tlds com,net,edu,gov] [-date 2020-09-15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/eppserver"
+	"repro/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", ":7700", "listen address")
+	name := flag.String("registry", "Verisign", "registry operator name")
+	tlds := flag.String("tlds", "com,net,edu,gov", "comma-separated TLDs in the repository")
+	date := flag.String("date", "2020-09-15", "server clock date (YYYY-MM-DD)")
+	flag.Parse()
+
+	day, err := dates.Parse(*date)
+	if err != nil {
+		log.Fatalf("eppd: %v", err)
+	}
+	var zones []dnsname.Name
+	for _, t := range strings.Split(*tlds, ",") {
+		z, err := dnsname.Parse(strings.TrimSpace(t))
+		if err != nil {
+			log.Fatalf("eppd: bad tld %q: %v", t, err)
+		}
+		zones = append(zones, z)
+	}
+	reg := registry.New(*name, nil, zones...)
+	srv := eppserver.New(reg)
+	srv.Clock = func() dates.Day { return day }
+	srv.Logf = log.Printf
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("eppd: %v", err)
+	}
+	fmt.Printf("eppd: %s repository (%s) serving EPP on %s, clock %s\n",
+		*name, *tlds, ln.Addr(), day)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("eppd: %v", err)
+	}
+}

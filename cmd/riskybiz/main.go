@@ -1,0 +1,169 @@
+// Command riskybiz runs the full reproduction pipeline — ecosystem
+// simulation, sacrificial-nameserver detection, and every table and
+// figure of the paper's evaluation — and prints the results.
+//
+// Usage:
+//
+//	riskybiz [-scale N] [-seed S] [-only table3,figure6] [-csv]
+//	         [-save-data PREFIX] [-figures-csv DIR]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	scale := flag.Float64("scale", 12, "mean new domain registrations per simulated day")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "comma-separated subset: funnel,patterns,table1..table6,figure3..figure7,accident,partial")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	saveData := flag.String("save-data", "", "after simulating, archive the dataset to PREFIX.dzdb / PREFIX.whois / PREFIX.exclude")
+	figuresCSV := flag.String("figures-csv", "", "write per-figure CSV data files into this directory")
+	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON instead of text artifacts")
+	flag.Parse()
+
+	study, err := riskybiz.Run(riskybiz.Options{Seed: *seed, DomainsPerDay: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskybiz:", err)
+		os.Exit(1)
+	}
+	if *saveData != "" {
+		if err := saveDataset(study, *saveData); err != nil {
+			fmt.Fprintln(os.Stderr, "riskybiz:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dataset archived under %s.{dzdb,whois,exclude}\n", *saveData)
+	}
+	if *figuresCSV != "" {
+		if err := writeFigureCSVs(study, *figuresCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "riskybiz:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *figuresCSV)
+	}
+	if *jsonOut {
+		summary := study.Analysis.Summarize(sim.NotificationDay, sim.FollowupDay)
+		if err := summary.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "riskybiz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	opts := report.ArtifactOptions{
+		CSV:             *csv,
+		NotificationDay: sim.NotificationDay,
+		FollowupDay:     sim.FollowupDay,
+		AccidentNS:      study.World.Truth().AccidentNS,
+		EndOfData:       study.World.Config().End,
+	}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	report.PrintArtifacts(os.Stdout, study.Analysis, study.Result, opts)
+}
+
+// writeFigureCSVs emits the raw series behind every figure so they can
+// be re-plotted with external tooling.
+func writeFigureCSVs(study *riskybiz.Study, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	a := study.Analysis
+	save := func(name string, t *report.Table) error {
+		f, err := os.Create(dir + "/" + name)
+		if err != nil {
+			return err
+		}
+		t.CSV(f)
+		return f.Close()
+	}
+	monthly := func(name string, s *analysis.MonthlySeries) error {
+		t := report.NewTable("month", "count")
+		for i, m := range s.Months {
+			t.AddRow(m.String(), s.Counts[i])
+		}
+		return save(name, t)
+	}
+	if err := monthly("figure3.csv", a.Figure3()); err != nil {
+		return err
+	}
+	if err := monthly("figure4.csv", a.Figure4()); err != nil {
+		return err
+	}
+	t5 := report.NewTable("nameserver", "hijack_value_days", "domains", "hijacked")
+	for _, p := range a.Figure5() {
+		t5.AddRow(string(p.NS), p.Value, p.NDomains, p.Hijacked)
+	}
+	if err := save("figure5.csv", t5); err != nil {
+		return err
+	}
+	cdf := func(name string, c *analysis.CDF) error {
+		t := report.NewTable("days", "fraction")
+		for _, pt := range c.Points() {
+			t.AddRow(int(pt[0]), pt[1])
+		}
+		return save(name, t)
+	}
+	nsCDF, domCDF := a.Figure6()
+	if err := cdf("figure6_nameservers.csv", nsCDF); err != nil {
+		return err
+	}
+	if err := cdf("figure6_domains.csv", domCDF); err != nil {
+		return err
+	}
+	never, exposure, hijacked := a.Figure7()
+	if err := cdf("figure7_never_hijacked.csv", never); err != nil {
+		return err
+	}
+	if err := cdf("figure7_hijacked_exposure.csv", exposure); err != nil {
+		return err
+	}
+	return cdf("figure7_hijacked_days.csv", hijacked)
+}
+
+// saveDataset archives the zone database, WHOIS history, and the
+// accident-NS exclusion list so detection can be re-run without
+// simulating (riskydetect, dzdbd -load).
+func saveDataset(study *riskybiz.Study, prefix string) error {
+	write := func(suffix string, fn func(*bufio.Writer) error) error {
+		f, err := os.Create(prefix + suffix)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := fn(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(".dzdb", func(w *bufio.Writer) error {
+		return study.World.ZoneDB().WriteArchive(w)
+	}); err != nil {
+		return err
+	}
+	if err := write(".whois", func(w *bufio.Writer) error {
+		return study.World.WHOIS().WriteArchive(w)
+	}); err != nil {
+		return err
+	}
+	return write(".exclude", func(w *bufio.Writer) error {
+		for _, ns := range study.World.Truth().AccidentNS {
+			fmt.Fprintln(w, ns)
+		}
+		return nil
+	})
+}

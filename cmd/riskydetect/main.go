@@ -1,0 +1,122 @@
+// Command riskydetect runs the detection methodology and analyses over
+// an ARCHIVED dataset (produced by `riskybiz -save-data`), with no
+// simulation involved — the workflow a researcher with real zone-file
+// and WHOIS archives would use.
+//
+// Usage:
+//
+//	riskybiz -scale 12 -save-data dataset
+//	riskydetect -data dataset [-only table3,figure6] [-csv]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/dates"
+	"repro/internal/detect"
+	"repro/internal/dnsname"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+func main() {
+	data := flag.String("data", "dataset", "archive prefix (PREFIX.dzdb, PREFIX.whois, optional PREFIX.exclude)")
+	only := flag.String("only", "", "comma-separated artifact subset")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON")
+	windowStart := flag.String("window-start", "2011-04-01", "analysis window start")
+	windowEnd := flag.String("window-end", "2020-09-30", "analysis window end")
+	flag.Parse()
+
+	db, who, exclude, err := loadDataset(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskydetect:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d domains, %d nameservers, %d excluded NS\n",
+		*data, db.NumDomains(), db.NumNameservers(), len(exclude))
+
+	first, err := dates.Parse(*windowStart)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskydetect:", err)
+		os.Exit(1)
+	}
+	last, err := dates.Parse(*windowEnd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskydetect:", err)
+		os.Exit(1)
+	}
+
+	det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory()}
+	res := det.Run()
+	an := analysis.New(res, db, dates.NewRange(first, last), exclude).WithWHOIS(who)
+
+	if *jsonOut {
+		summary := an.Summarize(sim.NotificationDay, sim.FollowupDay)
+		if err := summary.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "riskydetect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	opts := report.ArtifactOptions{
+		CSV:             *csv,
+		NotificationDay: sim.NotificationDay,
+		FollowupDay:     sim.FollowupDay,
+		AccidentNS:      exclude,
+		EndOfData:       last,
+	}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	report.PrintArtifacts(os.Stdout, an, res, opts)
+}
+
+func loadDataset(prefix string) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
+	zf, err := os.Open(prefix + ".dzdb")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer zf.Close()
+	db, err := zonedb.ReadFrom(bufio.NewReader(zf))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wf, err := os.Open(prefix + ".whois")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer wf.Close()
+	who, err := whois.ReadFrom(bufio.NewReader(wf))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var exclude []dnsname.Name
+	if ef, err := os.Open(prefix + ".exclude"); err == nil {
+		sc := bufio.NewScanner(ef)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			n, err := dnsname.Parse(line)
+			if err != nil {
+				ef.Close()
+				return nil, nil, nil, fmt.Errorf("exclude list: %w", err)
+			}
+			exclude = append(exclude, n)
+		}
+		ef.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return db, who, exclude, nil
+}

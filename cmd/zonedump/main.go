@@ -1,0 +1,83 @@
+// Command zonedump runs the ecosystem simulation and writes the
+// reconstructed zone file of one TLD on one day in master-file format —
+// the equivalent of pulling a daily snapshot out of the longitudinal
+// zone database.
+//
+// Usage:
+//
+//	zonedump -zone biz -date 2016-07-15 [-scale 6] [-seed 1] [-grep dropthishost]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/sim"
+	"repro/internal/zonedb"
+)
+
+func main() {
+	zone := flag.String("zone", "com", "TLD zone to dump")
+	date := flag.String("date", "2016-07-15", "snapshot date (YYYY-MM-DD)")
+	scale := flag.Float64("scale", 6, "mean new registrations per day (ignored with -load)")
+	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
+	grep := flag.String("grep", "", "only lines containing this substring")
+	load := flag.String("load", "", "read a zone-database archive instead of simulating")
+	flag.Parse()
+
+	day, err := dates.Parse(*date)
+	if err != nil {
+		log.Fatalf("zonedump: %v", err)
+	}
+	z, err := dnsname.Parse(*zone)
+	if err != nil {
+		log.Fatalf("zonedump: %v", err)
+	}
+	var db *zonedb.DB
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+		db, err = zonedb.ReadFrom(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+	} else {
+		cfg := sim.DefaultConfig(*scale)
+		cfg.Seed = *seed
+		world, err := sim.NewWorld(cfg)
+		if err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+		if err := world.Run(); err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+		db = world.ZoneDB()
+	}
+	snap := db.SnapshotOn(z, day)
+	if *grep == "" {
+		if err := snap.Write(os.Stdout); err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+		return
+	}
+	var sb strings.Builder
+	if err := snap.Write(&sb); err != nil {
+		log.Fatalf("zonedump: %v", err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, *grep) {
+			fmt.Fprintln(w, line)
+		}
+	}
+}

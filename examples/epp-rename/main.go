@@ -1,0 +1,112 @@
+// Epp-rename drives the Figure 1 sequence over a real EPP protocol
+// session: an in-process EPP server fronts the Verisign repository, and
+// two registrar clients interact with it.
+//
+//	Registrar A sponsors foo.com with host objects ns1/ns2.foo.com.
+//	Registrar B sponsors bar.com, delegated to ns2.foo.com.
+//	A tries to delete foo.com          -> 2305 (subordinate hosts exist)
+//	A tries to delete ns2.foo.com      -> 2305 (linked by bar.com)
+//	A tries to touch bar.com           -> 2201 (sponsorship isolation)
+//	A renames ns2.foo.com to a .biz name (external: no existence check!)
+//	A deletes ns1.foo.com, then foo.com -> success
+//	B's bar.com now silently delegates to the sacrificial name.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/dates"
+	"repro/internal/eppclient"
+	"repro/internal/eppserver"
+	"repro/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg := registry.New("Verisign", nil, "com", "net", "edu", "gov")
+	srv := eppserver.New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2019, 7, 1) }
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	regA, err := eppclient.Dial(addr, "registrar-a", "secret")
+	if err != nil {
+		return err
+	}
+	defer regA.Close()
+	regB, err := eppclient.Dial(addr, "registrar-b", "secret")
+	if err != nil {
+		return err
+	}
+	defer regB.Close()
+	fmt.Printf("connected to %s (%s)\n\n", addr, regA.Greeting().ServerID)
+
+	// Provisioning.
+	must(regA.CreateDomain("foo.com", 1))
+	must(regA.CreateHost("ns1.foo.com", "198.51.100.1"))
+	must(regA.CreateHost("ns2.foo.com", "198.51.100.2"))
+	must(regA.SetNS("foo.com", "ns1.foo.com", "ns2.foo.com"))
+	must(regB.CreateDomain("bar.com", 1, "ns2.foo.com"))
+	fmt.Println("provisioned: foo.com (A) with ns1/ns2, bar.com (B) -> ns2.foo.com")
+
+	// The EPP constraints of RFC 5731/5732, observed over the wire.
+	show := func(what string, err error) {
+		if err != nil {
+			fmt.Printf("%-42s %v\n", what, err)
+		} else {
+			fmt.Printf("%-42s OK\n", what)
+		}
+	}
+	fmt.Println("\nconstraints:")
+	show("A: delete foo.com", regA.DeleteDomain("foo.com"))
+	show("A: delete ns2.foo.com", regA.DeleteHost("ns2.foo.com"))
+	show("A: update bar.com delegation", regA.SetNS("bar.com", "ns1.foo.com"))
+
+	// The workaround: rename to an external namespace.
+	fmt.Println("\nworkaround:")
+	sacrificial := "ns2.fooxxxx.biz"
+	show("A: rename ns2.foo.com -> "+sacrificial, regA.RenameHost("ns2.foo.com", sacrificial))
+	show("A: clear foo.com's own delegation", regA.SetNS("foo.com"))
+	show("A: delete ns1.foo.com", regA.DeleteHost("ns1.foo.com"))
+	show("A: delete foo.com", regA.DeleteDomain("foo.com"))
+
+	// The silent rewrite, as seen by registrar B.
+	info, err := regB.DomainInfo("bar.com")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbar.com delegation after the rename (B took no action): %v\n", info.NS)
+
+	host, err := regB.HostInfo(sacrificial)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: sponsor=%s superordinate=%q linked=%v\n",
+		sacrificial, host.Sponsor, host.Superordinate, host.LinkedDomains)
+	fmt.Println("\nthe host object is now external: no registry object backs fooxxxx.biz,")
+	fmt.Println("and whoever registers it controls bar.com's resolution.")
+
+	// Even registrar A cannot undo it (external hosts are immutable).
+	fmt.Println("\naftermath:")
+	show("A: rename "+sacrificial+" back", regA.RenameHost(sacrificial, "ns2.elsewhere.org"))
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Epp-transfer demonstrates the registrar-to-registrar transfer workflow
+// (RFC 5730 §2.9.3.4) over a live EPP session: authInfo authorization, the
+// pending state, poll-queue notifications, and approval. This is the
+// ORDINARY way a domain changes hands — contrast with the drop-catch of
+// an abandoned sink domain (footnote 6), which needs no authInfo because
+// the registration had lapsed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/dates"
+	"repro/internal/eppclient"
+	"repro/internal/eppserver"
+	"repro/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg := registry.New("Verisign", nil, "com", "net")
+	srv := eppserver.New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2020, 3, 10) }
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	losing, err := eppclient.Dial(ln.Addr().String(), "old-registrar", "pw")
+	if err != nil {
+		return err
+	}
+	defer losing.Close()
+	gaining, err := eppclient.Dial(ln.Addr().String(), "new-registrar", "pw")
+	if err != nil {
+		return err
+	}
+	defer gaining.Close()
+
+	// The registrant's domain, provisioned with a transfer password.
+	if err := losing.CreateDomainWithAuth("movingday.com", 1, "hunter2-but-stronger"); err != nil {
+		return err
+	}
+	fmt.Println("movingday.com registered at old-registrar")
+
+	// A transfer attempt without the right authInfo is refused.
+	if err := gaining.RequestTransfer("movingday.com", "guess"); err != nil {
+		fmt.Println("transfer with wrong authInfo:", err)
+	}
+
+	// With the registrant-provided authInfo it enters the pending state.
+	if err := gaining.RequestTransfer("movingday.com", "hunter2-but-stronger"); err != nil {
+		return err
+	}
+	status, err := gaining.QueryTransfer("movingday.com")
+	if err != nil {
+		return err
+	}
+	fmt.Println("transfer status:", status)
+
+	// The losing registrar learns about it from its poll queue.
+	msg, err := losing.Poll()
+	if err != nil {
+		return err
+	}
+	fmt.Println("old-registrar poll:", msg.Msg)
+	if err := losing.PollAck(msg.ID); err != nil {
+		return err
+	}
+
+	// ... and approves.
+	if err := losing.ApproveTransfer("movingday.com"); err != nil {
+		return err
+	}
+	info, err := gaining.DomainInfo("movingday.com")
+	if err != nil {
+		return err
+	}
+	fmt.Println("sponsor after approval:", info.Sponsor)
+
+	// The gaining registrar drains its own notifications.
+	for {
+		m, err := gaining.Poll()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			break
+		}
+		fmt.Println("new-registrar poll:", m.Msg)
+		if err := gaining.PollAck(m.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Hijack-experiment reproduces the paper's controlled experiment (§6.1)
+// end to end, over real sockets:
+//
+//  1. A provider domain with subordinate host objects expires; its
+//     registrar's deletion pipeline renames the hosts, silently
+//     rewriting the delegations of every dependent domain — including a
+//     .edu and a .gov name, because Verisign's repository backs those
+//     TLDs too.
+//  2. The experimenter registers the sacrificial nameserver domain and
+//     stands up a real authoritative UDP server for it.
+//  3. Queries arrive but are never answered (the paper's passive phase);
+//     then answering is enabled ONLY for a controlled source prefix, and
+//     the .edu name resolves — demonstrating a complete hijack while
+//     remaining invisible to everyone else.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/netip"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/epp"
+	"repro/internal/idioms"
+	"repro/internal/registrar"
+	"repro/internal/registry"
+	"repro/internal/resolve"
+	"repro/internal/zonedb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	day := dates.FromYMD(2020, 9, 1)
+	zdb := zonedb.New()
+	// Verisign's repository backs .com, .net, .edu, and .gov together —
+	// the scoping property the experiment stumbled onto.
+	verisign := registry.New("Verisign", zdb, "com", "net", "edu", "gov")
+	neustar := registry.New("Neustar", zdb, "biz", "us")
+
+	const godaddy = epp.RegistrarID("godaddy")
+	rng := rand.New(rand.NewSource(42)) // deterministic example output
+	gd := registrar.New(godaddy, "GoDaddy", rng,
+		registrar.Phase{From: day.AddYears(-10), Idiom: idioms.DropThisHost})
+
+	// The provider and its dependents, including restricted-TLD names.
+	provider := dnsname.MustParse("university-hosting.com")
+	ns1 := dnsname.MustParse("ns1.university-hosting.com")
+	ns2 := dnsname.MustParse("ns2.university-hosting.com")
+	check(verisign.RegisterDomain(godaddy, provider, day.AddYears(-8), day))
+	check(verisign.CreateHost(godaddy, ns1, day.AddYears(-8), netip.MustParseAddr("198.51.100.10")))
+	check(verisign.CreateHost(godaddy, ns2, day.AddYears(-8), netip.MustParseAddr("198.51.100.11")))
+	check(verisign.SetNS(godaddy, provider, day.AddYears(-8), ns1, ns2))
+
+	victims := []struct {
+		name dnsname.Name
+		rr   epp.RegistrarID
+	}{
+		{dnsname.MustParse("smalltown-college.edu"), "educause"},
+		{dnsname.MustParse("cityclerk.gov"), "cisa"},
+		{dnsname.MustParse("localbakery.com"), "tucows"},
+	}
+	for _, v := range victims {
+		check(verisign.RegisterDomain(v.rr, v.name, day.AddYears(-5), day.AddYears(2)))
+		check(verisign.SetNS(v.rr, v.name, day.AddYears(-5), ns1, ns2))
+	}
+
+	fmt.Println("Before expiry, delegations in the Verisign repository:")
+	printDelegations(verisign, victims[0].name, victims[1].name, victims[2].name)
+
+	// 1. The provider expires; GoDaddy's pipeline renames the hosts.
+	renames, err := gd.DeleteDomain(verisign, provider, day)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nGoDaddy deleted %s, renaming %d host objects:\n", provider, len(renames))
+	for _, rn := range renames {
+		fmt.Printf("  %s -> %s\n", rn.Old, rn.New)
+	}
+	fmt.Println("\nAfter the rename — note the silently rewritten .edu and .gov NS records:")
+	printDelegations(verisign, victims[0].name, victims[1].name, victims[2].name)
+
+	sacrificial := renames[0].New
+	sacDomain, _ := dnsname.RegisteredDomain(sacrificial)
+
+	// 2. The experimenter registers the sacrificial domain (in .biz, a
+	// different registry) and stands up a real authoritative server.
+	const experimenter = epp.RegistrarID("ucsd-experiment")
+	check(neustar.RegisterDomain(experimenter, sacDomain, day, day.AddYears(1)))
+	fmt.Printf("\nRegistered sacrificial domain %s via Neustar — the hijack is live.\n", sacDomain)
+
+	srv := dnsserver.New(func(dnswire.Question, netip.AddrPort) bool { return false }) // answer nothing
+	srv.AddZone(sacDomain)
+	victimEDU := victims[0].name
+	srv.AddZone(victimEDU)
+	check(srv.AddA(victimEDU, netip.MustParseAddr("198.51.100.99")))
+	var observed []dnsname.Name
+	srv.QueryLog = func(q dnswire.Question, from netip.AddrPort) {
+		observed = append(observed, q.Name)
+	}
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(pc) }()
+	defer srv.Close()
+
+	stub := &resolve.Stub{Server: pc.LocalAddr().String(), Timeout: 300 * time.Millisecond, Retries: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// 3a. Passive phase: queries arrive; the server never responds.
+	fmt.Println("\nPassive phase (answering disabled, as in the paper's ethics design):")
+	if _, err := stub.LookupA(ctx, victimEDU); err != nil {
+		fmt.Printf("  query for %s: %v (no response, by design)\n", victimEDU, err)
+	}
+	fmt.Printf("  server observed %d incoming queries, answered %d\n",
+		srv.Stats.Queries.Load(), srv.Stats.Answered.Load())
+
+	// 3b. Restricted answering: only the experiment's own prefix.
+	allowed := netip.MustParsePrefix("127.0.0.0/8") // stands in for the authors' /24
+	srv.SetPolicy(dnsserver.AnswerOnlyPrefix(allowed))
+	fmt.Printf("\nRestricted phase (answers only from %s):\n", allowed)
+	addrs, err := stub.LookupA(ctx, victimEDU)
+	if err != nil {
+		return fmt.Errorf("restricted lookup failed: %w", err)
+	}
+	fmt.Printf("  %s resolved to %v — full control over a restricted-TLD name\n", victimEDU, addrs)
+	fmt.Printf("  server stats: %d queries, %d answered, %d dropped\n",
+		srv.Stats.Queries.Load(), srv.Stats.Answered.Load(), srv.Stats.Dropped.Load())
+	fmt.Printf("  observed query names: %v\n", dedupe(observed))
+	return nil
+}
+
+func printDelegations(reg *registry.Registry, names ...dnsname.Name) {
+	repo := reg.Repository()
+	for _, n := range names {
+		d, err := repo.DomainInfo(n)
+		if err != nil {
+			fmt.Printf("  %-24s (deleted)\n", n)
+			continue
+		}
+		fmt.Printf("  %-24s NS %v\n", n, repo.NSNames(d))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dedupe(names []dnsname.Name) []dnsname.Name {
+	seen := make(map[dnsname.Name]bool)
+	var out []dnsname.Name
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

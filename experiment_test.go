@@ -1,0 +1,101 @@
+package riskybiz
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/epp"
+	"repro/internal/idioms"
+	"repro/internal/registrar"
+	"repro/internal/registry"
+	"repro/internal/resolve"
+)
+
+// TestControlledExperimentEndToEnd runs the §6.1 controlled experiment
+// as an integration test: registry state drives a real authoritative
+// server over UDP, and the hijack is demonstrated (and contained) the
+// way the paper's ethics design required.
+func TestControlledExperimentEndToEnd(t *testing.T) {
+	day := dates.FromYMD(2020, 9, 1)
+	verisign := registry.New("Verisign", nil, "com", "net", "edu", "gov")
+	neustar := registry.New("Neustar", nil, "biz", "us")
+	gd := registrar.New("godaddy", "GoDaddy", rand.New(rand.NewSource(1)),
+		registrar.Phase{From: day.AddYears(-10), Idiom: idioms.DropThisHost})
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	provider := dnsname.MustParse("hosting-co.com")
+	must(verisign.RegisterDomain("godaddy", provider, day.AddYears(-5), day))
+	must(verisign.CreateHost("godaddy", "ns1.hosting-co.com", day.AddYears(-5), netip.MustParseAddr("198.51.100.1")))
+	must(verisign.SetNS("godaddy", provider, day.AddYears(-5), "ns1.hosting-co.com"))
+	victim := dnsname.MustParse("college.edu")
+	must(verisign.RegisterDomain("educause", victim, day.AddYears(-4), day.AddYears(2)))
+	must(verisign.SetNS("educause", victim, day.AddYears(-4), "ns1.hosting-co.com"))
+
+	// Provider expires; the .edu delegation is silently rewritten.
+	renames, err := gd.DeleteDomain(verisign, provider, day)
+	must(err)
+	if len(renames) != 1 {
+		t.Fatalf("renames = %+v", renames)
+	}
+	sac := renames[0].New
+	repo := verisign.Repository()
+	d, _ := repo.DomainInfo(victim)
+	if ns := repo.NSNames(d); len(ns) != 1 || ns[0] != sac {
+		t.Fatalf("victim NS = %v", ns)
+	}
+
+	// Register the sacrificial domain in the other registry.
+	sacDomain, _ := dnsname.RegisteredDomain(sac)
+	must(neustar.RegisterDomain(epp.RegistrarID("experimenter"), sacDomain, day, day.AddYears(1)))
+
+	// Serve it for real, answering only from loopback.
+	srv := dnsserver.New(dnsserver.AnswerOnlyPrefix(netip.MustParsePrefix("203.0.113.0/24")))
+	srv.AddZone(sacDomain)
+	srv.AddZone(victim)
+	must(srv.AddA(victim, netip.MustParseAddr("198.51.100.99")))
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	must(err)
+	go func() { _ = srv.Serve(pc) }()
+	defer srv.Close()
+
+	stub := &resolve.Stub{Server: pc.LocalAddr().String(), Timeout: 200 * time.Millisecond, Retries: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Phase 1: queries observed, never answered.
+	if _, err := stub.LookupA(ctx, victim); err == nil {
+		t.Fatal("server answered outside the allowed prefix")
+	}
+	if srv.Stats.Queries.Load() == 0 || srv.Stats.Answered.Load() != 0 {
+		t.Fatalf("stats: %d queries, %d answered", srv.Stats.Queries.Load(), srv.Stats.Answered.Load())
+	}
+
+	// Phase 2: restricted answering from the experiment's own prefix.
+	srv.SetPolicy(dnsserver.AnswerOnlyPrefix(netip.MustParsePrefix("127.0.0.0/8")))
+	addrs, err := stub.LookupA(ctx, victim)
+	must(err)
+	if len(addrs) != 1 || addrs[0] != "198.51.100.99" {
+		t.Fatalf("resolved to %v", addrs)
+	}
+
+	// Sanity: the hijacker's server is authoritative, as a resolver
+	// following the rewritten delegation would require.
+	resp, err := stub.Query(ctx, victim, dnswire.TypeA)
+	must(err)
+	if !resp.Header.Authoritative {
+		t.Error("answer not authoritative")
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"repro/internal/dates"
+	"repro/internal/detect"
+	"repro/internal/dnsname"
+	"repro/internal/interval"
+)
+
+// Figure3 counts newly hijackable domains per month: each domain is
+// counted once, in the month its delegation to a hijackable sacrificial
+// nameserver first appeared.
+func (a *Analysis) Figure3() *MonthlySeries {
+	series := a.newMonthlySeries()
+	firstExposure := make(map[dnsname.Name]dates.Day)
+	a.each(func(s *detect.Sacrificial) {
+		if !s.Hijackable() || !a.inWindow(s) {
+			return
+		}
+		for _, d := range s.Domains {
+			f := d.Spans.First()
+			if f == dates.None {
+				continue
+			}
+			if prev, ok := firstExposure[d.Name]; !ok || f < prev {
+				firstExposure[d.Name] = f
+			}
+		}
+	})
+	for _, day := range firstExposure {
+		series.bump(day)
+	}
+	return series
+}
+
+// Figure4 counts newly hijacked domains per month: each domain is counted
+// once, in the month it first delegated to a sacrificial nameserver whose
+// domain the hijacker had registered.
+func (a *Analysis) Figure4() *MonthlySeries {
+	series := a.newMonthlySeries()
+	firstHijack := make(map[dnsname.Name]dates.Day)
+	a.each(func(s *detect.Sacrificial) {
+		if !s.Hijacked() || !a.inWindow(s) || !a.window.Contains(s.HijackedOn) {
+			return
+		}
+		for _, d := range s.Domains {
+			// The domain is hijacked from the later of the registration
+			// day and the start of its own exposure to this nameserver.
+			from := d.Spans.NextOnOrAfter(s.HijackedOn)
+			if from == dates.None {
+				continue
+			}
+			if prev, ok := firstHijack[d.Name]; !ok || from < prev {
+				firstHijack[d.Name] = from
+			}
+		}
+	})
+	for _, day := range firstHijack {
+		series.bump(day)
+	}
+	return series
+}
+
+// ScatterPoint is one Figure 5 point: a hijackable sacrificial
+// nameserver's hijack value and delegated-domain count.
+type ScatterPoint struct {
+	NS       dnsname.Name
+	Value    int // domain-days (log x-axis in the paper)
+	NDomains int // capped at 1000 in the paper's plot
+	Hijacked bool
+}
+
+// Figure5 returns the value-vs-degree scatter of §5.3.
+func (a *Analysis) Figure5() []ScatterPoint {
+	var pts []ScatterPoint
+	a.each(func(s *detect.Sacrificial) {
+		if !s.Hijackable() || !a.inWindow(s) {
+			return
+		}
+		n := s.NumDomains()
+		if n > 1000 {
+			n = 1000
+		}
+		pts = append(pts, ScatterPoint{NS: s.NS, Value: s.Value(), NDomains: n, Hijacked: s.Hijacked()})
+	})
+	return pts
+}
+
+// Figure6 returns the time-to-exploit CDFs of §5.4: for nameservers, days
+// from creation to registration; for (eventually hijacked) domains, days
+// from their own exposure to the registration.
+func (a *Analysis) Figure6() (nsCDF, domainCDF *CDF) {
+	var nsDays, domDays []int
+	a.each(func(s *detect.Sacrificial) {
+		if !s.Hijacked() || !a.inWindow(s) {
+			return
+		}
+		nsDays = append(nsDays, s.HijackedOn.Sub(s.Created))
+		for _, d := range s.Domains {
+			start := d.Spans.First()
+			if start == dates.None || start > s.HijackedOn {
+				continue // exposed only after the hijack began
+			}
+			if d.Spans.NextOnOrAfter(s.HijackedOn) == dates.None {
+				continue // fixed before the hijack; never captured
+			}
+			domDays = append(domDays, s.HijackedOn.Sub(start))
+		}
+	})
+	return NewCDF(nsDays), NewCDF(domDays)
+}
+
+// Figure7 returns the duration CDFs of §5.5: days hijackable for
+// never-hijacked domains, days hijackable for hijacked domains, and days
+// actually hijacked.
+func (a *Analysis) Figure7() (neverHijackedDays, hijackedExposureDays, hijackedDays *CDF) {
+	type acc struct {
+		exposure interval.Set
+		hijacked interval.Set
+		wasHit   bool
+	}
+	perDomain := make(map[dnsname.Name]*acc)
+	a.each(func(s *detect.Sacrificial) {
+		if !s.Hijackable() || !a.inWindow(s) {
+			return
+		}
+		regSpans := a.db.DomainSpans(s.RegDomain)
+		for _, d := range s.Domains {
+			g := perDomain[d.Name]
+			if g == nil {
+				g = &acc{}
+				perDomain[d.Name] = g
+			}
+			merged := g.exposure.Union(d.Spans)
+			g.exposure = merged
+			if s.Hijacked() && regSpans != nil {
+				hit := d.Spans.Intersect(regSpans)
+				// Only the registration beginning at the hijack counts;
+				// clip to days at or after it.
+				hit = hit.Clip(dates.NewRange(s.HijackedOn, a.window.Last))
+				if !hit.Empty() {
+					h := g.hijacked.Union(&hit)
+					g.hijacked = h
+					g.wasHit = true
+				}
+			}
+		}
+	})
+	var never, exposure, hijacked []int
+	for _, g := range perDomain {
+		if g.wasHit {
+			exposure = append(exposure, g.exposure.TotalDays())
+			hijacked = append(hijacked, g.hijacked.TotalDays())
+		} else {
+			never = append(never, g.exposure.TotalDays())
+		}
+	}
+	return NewCDF(never), NewCDF(exposure), NewCDF(hijacked)
+}

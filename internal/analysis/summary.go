@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/dates"
+)
+
+// Summary bundles every artifact of the evaluation in one
+// JSON-marshalable structure, for machine consumption (dashboards,
+// notebooks, regression tracking).
+type Summary struct {
+	Window dates.Range `json:"window"`
+
+	Funnel FunnelSummary `json:"funnel"`
+
+	Table1 *IdiomTable   `json:"table1_non_hijackable"`
+	Table2 *IdiomTable   `json:"table2_hijackable"`
+	Table3 *Table3       `json:"table3_totals"`
+	Table4 []HijackerRow `json:"table4_hijackers"`
+	Table5 *Table5       `json:"table5_remediation,omitempty"`
+	Table6 *IdiomTable   `json:"table6_protected"`
+
+	RemediationByRegistrar []AttributionRow `json:"remediation_by_registrar,omitempty"`
+
+	Figure3 *MonthlySeries `json:"figure3_new_hijackable_per_month"`
+	Figure4 *MonthlySeries `json:"figure4_new_hijacked_per_month"`
+	Figure5 []ScatterPoint `json:"figure5_value_scatter"`
+
+	Figure6NameserverDays []int `json:"figure6_ns_days_to_exploit"`
+	Figure6DomainDays     []int `json:"figure6_domain_days_to_exploit"`
+
+	Figure7NeverHijackedDays []int `json:"figure7_never_hijacked_exposure_days"`
+	Figure7HijackedExposure  []int `json:"figure7_hijacked_exposure_days"`
+	Figure7HijackedDays      []int `json:"figure7_hijacked_days"`
+
+	IdiomTimeline []TimelineRow `json:"idiom_timeline"`
+}
+
+// FunnelSummary mirrors detect.Funnel with JSON names.
+type FunnelSummary struct {
+	TotalNameservers     int `json:"total_nameservers"`
+	Candidates           int `json:"candidates"`
+	TestNameservers      int `json:"test_nameservers"`
+	SingleRepoViolations int `json:"single_repo_violations"`
+	Unclassified         int `json:"unclassified"`
+	Sacrificial          int `json:"sacrificial"`
+}
+
+// Summarize computes every artifact. notification and followup
+// parameterize Table 5 (pass zero days to omit it).
+func (a *Analysis) Summarize(notification, followup dates.Day) *Summary {
+	f := a.Funnel()
+	s := &Summary{
+		Window: a.window,
+		Funnel: FunnelSummary{
+			TotalNameservers:     f.TotalNameservers,
+			Candidates:           f.Candidates,
+			TestNameservers:      f.TestNameservers,
+			SingleRepoViolations: f.SingleRepoViolations,
+			Unclassified:         f.Unclassified,
+			Sacrificial:          f.Sacrificial,
+		},
+		Table1:        a.Table1(),
+		Table2:        a.Table2(),
+		Table3:        a.Table3(),
+		Table4:        a.Table4(5),
+		Table6:        a.Table6(),
+		Figure3:       a.Figure3(),
+		Figure4:       a.Figure4(),
+		Figure5:       a.Figure5(),
+		IdiomTimeline: a.IdiomTimeline(),
+	}
+	nsCDF, domCDF := a.Figure6()
+	s.Figure6NameserverDays = nsCDF.Samples()
+	s.Figure6DomainDays = domCDF.Samples()
+	never, exposure, hijacked := a.Figure7()
+	s.Figure7NeverHijackedDays = never.Samples()
+	s.Figure7HijackedExposure = exposure.Samples()
+	s.Figure7HijackedDays = hijacked.Samples()
+	if notification != 0 && notification.Valid() {
+		s.Table5 = a.Table5(notification, followup)
+		s.RemediationByRegistrar = a.RemediationAttribution(notification, followup)
+	}
+	return s
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

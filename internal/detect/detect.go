@@ -1,0 +1,397 @@
+package detect
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/idioms"
+	"repro/internal/interval"
+	"repro/internal/registry"
+	"repro/internal/resolve"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+// Sacrificial is one detected sacrificial nameserver with everything the
+// analyses need.
+type Sacrificial struct {
+	NS      dnsname.Name
+	Created dates.Day // first appearance in any delegation
+	Idiom   idioms.ID
+	Class   idioms.Class
+	// Registrar is the attributed registrar (from the idiom catalog for
+	// marker/sink idioms, from WHOIS for original-based matches).
+	Registrar string
+	// Original is the nameserver this one was renamed from, when the
+	// §3.2.3 history match identified it.
+	Original dnsname.Name
+	// RegDomain is the registrable domain an attacker would register.
+	RegDomain dnsname.Name
+	// Collision marks hijackable-idiom names whose domain was ALREADY
+	// registered when the rename happened (the accidental
+	// PLEASEDROPTHISHOST collisions of §4).
+	Collision bool
+	// HijackedOn is the first day at or after Created on which RegDomain
+	// was observed registered; dates.None when never hijacked.
+	HijackedOn dates.Day
+	// Domains lists every domain that ever delegated to the nameserver,
+	// with the days each delegation was visible.
+	Domains []AffectedDomain
+}
+
+// AffectedDomain is one domain exposed by a sacrificial nameserver.
+type AffectedDomain struct {
+	Name  dnsname.Name
+	Spans *interval.Set
+}
+
+// Hijackable reports whether the nameserver's domain could be (or could
+// have been) registered by an attacker.
+func (s *Sacrificial) Hijackable() bool {
+	return s.Class == idioms.Hijackable && !s.Collision
+}
+
+// Hijacked reports whether the nameserver's domain was registered after
+// creation.
+func (s *Sacrificial) Hijacked() bool {
+	return s.Hijackable() && s.HijackedOn != dates.None
+}
+
+// Value is the hijack value of §5.3: the total number of domain-days
+// delegated to the nameserver.
+func (s *Sacrificial) Value() int {
+	v := 0
+	for _, d := range s.Domains {
+		v += d.Spans.TotalDays()
+	}
+	return v
+}
+
+// NumDomains returns the number of distinct affected domains.
+func (s *Sacrificial) NumDomains() int { return len(s.Domains) }
+
+// Funnel reports the candidate-elimination counts of §3.2, mirroring the
+// paper's 20M -> 312,328 -> (-28,614 test) -> (-11,403 single-repo) ->
+// 202,624 progression.
+type Funnel struct {
+	TotalNameservers     int
+	Candidates           int
+	TestNameservers      int
+	SingleRepoViolations int
+	Unclassified         int
+	Sacrificial          int
+}
+
+// Config tunes a detection run.
+type Config struct {
+	// Miner configures the pattern-mining stage.
+	Miner MinerConfig
+	// SkipSingleRepoCheck disables the single-repository elimination
+	// (ablation).
+	SkipSingleRepoCheck bool
+	// SkipMining skips the (purely reporting) substring-mining stage.
+	SkipMining bool
+	// Workers parallelizes the candidate-extraction stage (static
+	// resolvability over every nameserver, the dominant cost). Zero or
+	// one runs sequentially. Each worker uses its own resolver memo, so
+	// results are identical regardless of worker count.
+	Workers int
+}
+
+// Result is a full detection run's output.
+type Result struct {
+	Funnel      Funnel
+	Patterns    []Pattern
+	Sacrificial []Sacrificial
+
+	// byNS indexes Sacrificial by nameserver name.
+	byNS map[dnsname.Name]int
+}
+
+// NewResult assembles a Result from pre-built records — used by tests
+// and by tools that load detection output from storage.
+func NewResult(sacrificial []Sacrificial, funnel Funnel) *Result {
+	r := &Result{Funnel: funnel, Sacrificial: sacrificial, byNS: make(map[dnsname.Name]int, len(sacrificial))}
+	for i := range sacrificial {
+		r.byNS[sacrificial[i].NS] = i
+	}
+	return r
+}
+
+// Lookup returns the detected record for ns, or nil.
+func (r *Result) Lookup(ns dnsname.Name) *Sacrificial {
+	if i, ok := r.byNS[ns]; ok {
+		return &r.Sacrificial[i]
+	}
+	return nil
+}
+
+// Detector wires the inputs of a detection run.
+type Detector struct {
+	DB    *zonedb.DB
+	WHOIS *whois.History
+	Dir   *registry.Directory
+	Cfg   Config
+}
+
+// candidate is one unresolvable-at-first-reference nameserver.
+type candidate struct {
+	ns    dnsname.Name
+	first dates.Day
+}
+
+// extractCandidates runs stage 1 (§3.2.1) over every observed
+// nameserver, optionally in parallel.
+func (d *Detector) extractCandidates() (total int, candidates []candidate) {
+	var all []dnsname.Name
+	d.DB.Nameservers(func(ns dnsname.Name) bool {
+		all = append(all, ns)
+		return true
+	})
+	total = len(all)
+	workers := d.Cfg.Workers
+	if workers <= 1 {
+		static := resolve.NewStatic(d.DB)
+		for _, ns := range all {
+			if bad, first := static.UnresolvableAtFirstReference(ns); bad {
+				candidates = append(candidates, candidate{ns, first})
+			}
+		}
+	} else {
+		// Shard the nameserver list; each worker owns a resolver (the
+		// memo is not concurrency-safe, and sharing one would not help:
+		// resolution chains rarely cross shards).
+		var wg sync.WaitGroup
+		results := make([][]candidate, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				static := resolve.NewStatic(d.DB)
+				var mine []candidate
+				for i := w; i < len(all); i += workers {
+					ns := all[i]
+					if bad, first := static.UnresolvableAtFirstReference(ns); bad {
+						mine = append(mine, candidate{ns, first})
+					}
+				}
+				results[w] = mine
+			}(w)
+		}
+		wg.Wait()
+		for _, part := range results {
+			candidates = append(candidates, part...)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ns < candidates[j].ns })
+	return total, candidates
+}
+
+// Run executes the full methodology.
+func (d *Detector) Run() *Result {
+	res := &Result{byNS: make(map[dnsname.Name]int)}
+
+	// Stage 1: unresolvable-at-first-reference candidates.
+	total, candidates := d.extractCandidates()
+	res.Funnel.TotalNameservers = total
+	res.Funnel.Candidates = len(candidates)
+
+	// Stage 2a: mine patterns (reporting; classification uses the
+	// confirmed catalog, as the paper confirmed idioms with registrars).
+	if !d.Cfg.SkipMining {
+		names := make([]dnsname.Name, len(candidates))
+		for i, c := range candidates {
+			names[i] = c.ns
+		}
+		res.Patterns = MineSubstrings(names, d.Cfg.Miner)
+	}
+
+	for _, c := range candidates {
+		// Stage 2b: remove registry test nameservers.
+		if idioms.IsTestNameserver(c.ns) {
+			res.Funnel.TestNameservers++
+			continue
+		}
+		// Sink and marker idioms classify directly.
+		if idiom, ok := idioms.RecognizeSink(c.ns); ok {
+			d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
+			continue
+		}
+		if idiom, ok := idioms.RecognizeMarker(c.ns); ok {
+			d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
+			continue
+		}
+		// Stage 3: single-repository property.
+		if !d.Cfg.SkipSingleRepoCheck && d.violatesSingleRepo(c.ns) {
+			res.Funnel.SingleRepoViolations++
+			continue
+		}
+		// Stage 4: original-nameserver history match.
+		if idiom, registrarName, orig, ok := d.matchOriginal(c.ns, c.first); ok {
+			d.emit(res, c.ns, c.first, idiom, registrarName, orig)
+			continue
+		}
+		res.Funnel.Unclassified++
+	}
+	res.Funnel.Sacrificial = len(res.Sacrificial)
+	return res
+}
+
+// violatesSingleRepo applies property 3 of §3.1: the candidate cannot be
+// a rename product if its affected domains span registry operators, or if
+// the candidate itself lives under the same operator as its affected
+// domains (a rename target is always external to the repository that
+// performed it).
+func (d *Detector) violatesSingleRepo(ns dnsname.Name) bool {
+	operators := make(map[string]bool)
+	for _, e := range d.DB.EdgesOf(ns) {
+		if op := d.Dir.OperatorOf(e.Domain.TLD()); op != "" {
+			operators[op] = true
+		}
+	}
+	if len(operators) > 1 {
+		return true
+	}
+	if nsOp := d.Dir.OperatorOf(ns.TLD()); nsOp != "" && operators[nsOp] {
+		return true
+	}
+	return false
+}
+
+// matchOriginal implements §3.2.3. For each domain whose delegation to
+// the candidate began on the candidate's first day, it looks at the
+// nameservers that domain used through the previous day. If one of them
+// satisfies the registered-domain substring criterion, the rename is
+// attributed to the registrar WHOIS reports for the original nameserver's
+// domain at that time, and mapped to that registrar's original-based
+// idiom.
+func (d *Detector) matchOriginal(ns dnsname.Name, first dates.Day) (*idioms.Idiom, string, dnsname.Name, bool) {
+	type match struct {
+		rr   string
+		prev dnsname.Name
+	}
+	var matches []match
+	for _, e := range d.DB.EdgesOf(ns) {
+		spans := d.DB.EdgeSpans(e.Domain, ns)
+		if spans == nil || spans.First() != first {
+			continue
+		}
+		for prevNS, prevSpans := range d.DB.NSHistory(e.Domain) {
+			if prevNS == ns || !endsOn(prevSpans, first-1) {
+				continue
+			}
+			if !idioms.MatchesOriginal(ns, prevNS) {
+				continue
+			}
+			reg, ok := dnsname.RegisteredDomain(prevNS)
+			if !ok {
+				continue
+			}
+			rr := d.WHOIS.RegistrarOn(reg, first-1)
+			if rr == "" {
+				continue
+			}
+			matches = append(matches, match{rr, prevNS})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].rr != matches[j].rr {
+			return matches[i].rr < matches[j].rr
+		}
+		return matches[i].prev < matches[j].prev
+	})
+	votes := make(map[string]int)
+	originals := make(map[string]dnsname.Name)
+	for _, m := range matches {
+		votes[m.rr]++
+		if _, have := originals[m.rr]; !have {
+			originals[m.rr] = m.prev
+		}
+	}
+	if len(votes) == 0 {
+		return nil, "", "", false
+	}
+	// Majority registrar wins; ties break deterministically by name.
+	var best string
+	for rr := range votes {
+		if best == "" || votes[rr] > votes[best] || (votes[rr] == votes[best] && rr < best) {
+			best = rr
+		}
+	}
+	idiom := originalIdiomFor(best, ns, originals[best])
+	if idiom == nil {
+		return nil, "", "", false
+	}
+	return idiom, best, originals[best], true
+}
+
+// endsOn reports whether any span in the set ends exactly on day.
+func endsOn(s *interval.Set, day dates.Day) bool {
+	for _, r := range s.Spans() {
+		if r.Last == day {
+			return true
+		}
+	}
+	return false
+}
+
+// originalIdiomFor maps an attributed registrar to its original-based
+// renaming idiom, distinguishing Enom's 123.BIZ era from its random-name
+// era by shape. Unknown registrars yield nil: the methodology is
+// conservative and only classifies confirmed idioms (§3.3).
+func originalIdiomFor(registrarName string, ns, orig dnsname.Name) *idioms.Idiom {
+	switch registrarName {
+	case "Enom":
+		ssld, _ := dnsname.SecondLevelLabel(ns)
+		osld, _ := dnsname.SecondLevelLabel(orig)
+		if ns.TLD() == "biz" && ssld == osld+"123" {
+			return idioms.Lookup(idioms.Enom123)
+		}
+		return idioms.Lookup(idioms.EnomRandom)
+	case "GoDaddy":
+		// GoDaddy's original-based idiom carries the marker and is
+		// classified earlier; reaching here means the shape is unknown.
+		return idioms.Lookup(idioms.PleaseDropThisHost)
+	case "DomainPeople":
+		return idioms.Lookup(idioms.DomainPeopleRandom)
+	case "Fabulous.com":
+		return idioms.Lookup(idioms.FabulousRandom)
+	case "Register.com":
+		return idioms.Lookup(idioms.RegisterComRandom)
+	default:
+		return nil
+	}
+}
+
+// emit records a classified sacrificial nameserver.
+func (d *Detector) emit(res *Result, ns dnsname.Name, first dates.Day, idiom *idioms.Idiom, registrarName string, orig dnsname.Name) {
+	s := Sacrificial{
+		NS:        ns,
+		Created:   first,
+		Idiom:     idiom.ID,
+		Class:     idiom.Class,
+		Registrar: registrarName,
+		Original:  orig,
+	}
+	if reg, ok := dnsname.RegisteredDomain(ns); ok {
+		s.RegDomain = reg
+	}
+	for _, e := range d.DB.EdgesOf(ns) {
+		s.Domains = append(s.Domains, AffectedDomain{Name: e.Domain, Spans: d.DB.EdgeSpans(e.Domain, ns)})
+	}
+	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Name < s.Domains[j].Name })
+	if s.Class == idioms.Hijackable && s.RegDomain != "" {
+		if d.DB.DomainRegisteredOn(s.RegDomain, first) {
+			s.Collision = true
+			s.HijackedOn = dates.None
+		} else {
+			s.HijackedOn = d.DB.DomainFirstSeenAfter(s.RegDomain, first)
+		}
+	} else {
+		s.HijackedOn = dates.None
+	}
+	res.byNS[ns] = len(res.Sacrificial)
+	res.Sacrificial = append(res.Sacrificial, s)
+}

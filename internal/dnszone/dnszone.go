@@ -1,0 +1,236 @@
+// Package dnszone models TLD zone-file snapshots: for each zone, the set
+// of delegations (owner name -> NS records) and glue addresses published
+// on a given day. It also reads and writes a master-file-style text format
+// so snapshots can be inspected, diffed, and archived like the zone files
+// the study was built on.
+package dnszone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// Delegation is one domain's NS record set within a zone snapshot.
+type Delegation struct {
+	Domain      dnsname.Name
+	Nameservers []dnsname.Name
+}
+
+// Glue is an in-zone address record for a nameserver host.
+type Glue struct {
+	Host dnsname.Name
+	Addr netip.Addr
+}
+
+// Snapshot is the published contents of one zone on one day.
+type Snapshot struct {
+	Zone        dnsname.Name
+	Date        dates.Day
+	Delegations []Delegation
+	Glue        []Glue
+}
+
+// NewSnapshot returns an empty snapshot for zone on date.
+func NewSnapshot(zone dnsname.Name, date dates.Day) *Snapshot {
+	return &Snapshot{Zone: zone, Date: date}
+}
+
+// AddDelegation appends a delegation. Nameserver order is preserved.
+func (s *Snapshot) AddDelegation(domain dnsname.Name, nameservers ...dnsname.Name) {
+	s.Delegations = append(s.Delegations, Delegation{Domain: domain, Nameservers: nameservers})
+}
+
+// AddGlue appends a glue address record.
+func (s *Snapshot) AddGlue(host dnsname.Name, addr netip.Addr) {
+	s.Glue = append(s.Glue, Glue{Host: host, Addr: addr})
+}
+
+// Sort orders delegations by domain and glue by host for stable output.
+func (s *Snapshot) Sort() {
+	sort.Slice(s.Delegations, func(i, j int) bool {
+		return s.Delegations[i].Domain < s.Delegations[j].Domain
+	})
+	for i := range s.Delegations {
+		ns := s.Delegations[i].Nameservers
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+	}
+	sort.Slice(s.Glue, func(i, j int) bool {
+		if s.Glue[i].Host != s.Glue[j].Host {
+			return s.Glue[i].Host < s.Glue[j].Host
+		}
+		return s.Glue[i].Addr.Less(s.Glue[j].Addr)
+	})
+}
+
+// NumDomains returns the number of delegated domains in the snapshot.
+func (s *Snapshot) NumDomains() int { return len(s.Delegations) }
+
+// Nameservers returns the deduplicated set of nameserver names referenced
+// by the snapshot's delegations.
+func (s *Snapshot) Nameservers() []dnsname.Name {
+	seen := make(map[dnsname.Name]bool)
+	var out []dnsname.Name
+	for _, d := range s.Delegations {
+		for _, ns := range d.Nameservers {
+			if !seen[ns] {
+				seen[ns] = true
+				out = append(out, ns)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// defaultTTL is the TTL written for all records; zone snapshots carry no
+// per-record TTL information relevant to the study.
+const defaultTTL = 86400
+
+// Write emits the snapshot in master-file style:
+//
+//	; zone com snapshot 2015-06-01
+//	$ORIGIN com.
+//	example 86400 IN NS ns1.example.com.
+//	ns1.example 86400 IN A 192.0.2.1
+//
+// Owner names inside the zone are written relative to the origin.
+func (s *Snapshot) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; zone %s snapshot %s\n", s.Zone, s.Date)
+	fmt.Fprintf(bw, "$ORIGIN %s.\n", s.Zone)
+	rel := func(n dnsname.Name) string {
+		if n == s.Zone {
+			return "@"
+		}
+		if n.IsSubdomainOf(s.Zone) {
+			return strings.TrimSuffix(string(n), "."+string(s.Zone))
+		}
+		return string(n) + "."
+	}
+	for _, d := range s.Delegations {
+		for _, ns := range d.Nameservers {
+			fmt.Fprintf(bw, "%s %d IN NS %s.\n", rel(d.Domain), defaultTTL, ns)
+		}
+	}
+	for _, g := range s.Glue {
+		typ := "A"
+		if g.Addr.Is6() {
+			typ = "AAAA"
+		}
+		fmt.Fprintf(bw, "%s %d IN %s %s\n", rel(g.Host), defaultTTL, typ, g.Addr)
+	}
+	return bw.Flush()
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dnszone: line %d: %s", e.Line, e.Msg)
+}
+
+// Read parses a snapshot previously produced by Write. The zone and date
+// are recovered from the header comment when present; otherwise the caller
+// must fill them in (Read then uses the $ORIGIN for the zone and leaves
+// Date as dates.None).
+func Read(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	snap := &Snapshot{Date: dates.None}
+	var origin dnsname.Name
+	lineNo := 0
+	abs := func(owner string) (dnsname.Name, error) {
+		if owner == "@" {
+			return origin, nil
+		}
+		if strings.HasSuffix(owner, ".") {
+			return dnsname.Parse(owner)
+		}
+		if origin == "" {
+			return "", fmt.Errorf("relative owner %q before $ORIGIN", owner)
+		}
+		return dnsname.Parse(owner + "." + string(origin))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			// Header comment: "; zone <name> snapshot <date>".
+			fields := strings.Fields(strings.TrimPrefix(line, ";"))
+			if len(fields) == 4 && fields[0] == "zone" && fields[2] == "snapshot" {
+				z, err := dnsname.Parse(fields[1])
+				if err == nil {
+					snap.Zone = z
+				}
+				if d, err := dates.Parse(fields[3]); err == nil {
+					snap.Date = d
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "$ORIGIN") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, &ParseError{lineNo, "malformed $ORIGIN"}
+			}
+			z, err := dnsname.Parse(fields[1])
+			if err != nil {
+				return nil, &ParseError{lineNo, fmt.Sprintf("bad origin: %v", err)}
+			}
+			origin = z
+			if snap.Zone == "" {
+				snap.Zone = z
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, &ParseError{lineNo, fmt.Sprintf("expected 5 fields, got %d", len(fields))}
+		}
+		owner, err := abs(fields[0])
+		if err != nil {
+			return nil, &ParseError{lineNo, fmt.Sprintf("bad owner: %v", err)}
+		}
+		if fields[2] != "IN" {
+			return nil, &ParseError{lineNo, fmt.Sprintf("unsupported class %q", fields[2])}
+		}
+		switch fields[3] {
+		case "NS":
+			target, err := dnsname.Parse(fields[4])
+			if err != nil {
+				return nil, &ParseError{lineNo, fmt.Sprintf("bad NS target: %v", err)}
+			}
+			// Coalesce consecutive NS records for the same owner.
+			if n := len(snap.Delegations); n > 0 && snap.Delegations[n-1].Domain == owner {
+				snap.Delegations[n-1].Nameservers = append(snap.Delegations[n-1].Nameservers, target)
+			} else {
+				snap.AddDelegation(owner, target)
+			}
+		case "A", "AAAA":
+			addr, err := netip.ParseAddr(fields[4])
+			if err != nil {
+				return nil, &ParseError{lineNo, fmt.Sprintf("bad address: %v", err)}
+			}
+			snap.AddGlue(owner, addr)
+		default:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unsupported type %q", fields[3])}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,139 @@
+package dnszone
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := NewSnapshot("com", dates.FromYMD(2016, 7, 15))
+	s.AddDelegation("example.com", "ns1.example.com", "ns2.example.com")
+	s.AddDelegation("other.com", "dropthishost-abc.biz")
+	s.AddGlue("ns1.example.com", netip.MustParseAddr("192.0.2.1"))
+	s.AddGlue("ns2.example.com", netip.MustParseAddr("2001:db8::2"))
+	s.Sort()
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	back.Sort()
+	if back.Zone != s.Zone || back.Date != s.Date {
+		t.Fatalf("metadata mismatch: %s %s", back.Zone, back.Date)
+	}
+	if !reflect.DeepEqual(back.Delegations, s.Delegations) {
+		t.Fatalf("delegations mismatch:\n got %+v\nwant %+v", back.Delegations, s.Delegations)
+	}
+	if !reflect.DeepEqual(back.Glue, s.Glue) {
+		t.Fatalf("glue mismatch:\n got %+v\nwant %+v", back.Glue, s.Glue)
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleSnapshot().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$ORIGIN com.",
+		"example 86400 IN NS ns1.example.com.",
+		"other 86400 IN NS dropthishost-abc.biz.",
+		"ns1.example 86400 IN A 192.0.2.1",
+		"ns2.example 86400 IN AAAA 2001:db8::2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"$ORIGIN com. extra\n",
+		"$ORIGIN com.\nfoo 86400 IN NS\n",                  // 4 fields
+		"$ORIGIN com.\nfoo 86400 CH NS ns1.example.com.\n", // class
+		"$ORIGIN com.\nfoo 86400 IN MX mail.example.com.\n",
+		"$ORIGIN com.\nfoo 86400 IN A not-an-ip\n",
+		"foo 86400 IN NS ns1.example.com.\n", // relative owner before $ORIGIN
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should fail", in)
+		}
+	}
+	var pe *ParseError
+	_, err := Read(strings.NewReader("$ORIGIN com.\nbad line here x\n"))
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if ok := errorsAs(err, &pe); !ok || pe.Line != 2 {
+		t.Errorf("ParseError line = %+v", err)
+	}
+}
+
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestReadCoalescesNS(t *testing.T) {
+	in := "$ORIGIN com.\nfoo 86400 IN NS ns1.x.net.\nfoo 86400 IN NS ns2.x.net.\n"
+	s, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Delegations) != 1 || len(s.Delegations[0].Nameservers) != 2 {
+		t.Fatalf("coalescing failed: %+v", s.Delegations)
+	}
+}
+
+func TestAtOwner(t *testing.T) {
+	in := "$ORIGIN com.\n@ 86400 IN NS ns1.x.net.\n"
+	s, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delegations[0].Domain != "com" {
+		t.Fatalf("@ owner = %s", s.Delegations[0].Domain)
+	}
+}
+
+func TestNameservers(t *testing.T) {
+	s := sampleSnapshot()
+	ns := s.Nameservers()
+	want := []dnsname.Name{"dropthishost-abc.biz", "ns1.example.com", "ns2.example.com"}
+	if !reflect.DeepEqual(ns, want) {
+		t.Fatalf("Nameservers = %v", ns)
+	}
+	if s.NumDomains() != 2 {
+		t.Errorf("NumDomains = %d", s.NumDomains())
+	}
+}
+
+func TestReadWithoutHeaderUsesOrigin(t *testing.T) {
+	in := "$ORIGIN net.\nfoo 86400 IN NS ns1.x.com.\n"
+	s, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Zone != "net" || s.Date != dates.None {
+		t.Fatalf("zone=%s date=%s", s.Zone, s.Date)
+	}
+}

@@ -1,0 +1,78 @@
+package dnszone
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// TestWriteReadPropertyRandomSnapshots round-trips randomly generated
+// snapshots through the master-file codec.
+func TestWriteReadPropertyRandomSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	tlds := []string{"com", "net", "org", "biz"}
+	for trial := 0; trial < 100; trial++ {
+		zone := dnsname.Name(tlds[rng.Intn(len(tlds))])
+		snap := NewSnapshot(zone, dates.Day(rng.Intn(5000)))
+		nDomains := 1 + rng.Intn(6)
+		for i := 0; i < nDomains; i++ {
+			domain := dnsname.Name(labels[rng.Intn(len(labels))] + string(rune('a'+i)) + "." + string(zone))
+			nNS := 1 + rng.Intn(3)
+			var ns []dnsname.Name
+			for j := 0; j < nNS; j++ {
+				// Mix of in-zone and foreign nameservers.
+				if rng.Intn(2) == 0 {
+					ns = append(ns, dnsname.Join("ns"+string(rune('1'+j)), domain))
+				} else {
+					ns = append(ns, dnsname.Name("ns1."+labels[rng.Intn(len(labels))]+".info"))
+				}
+			}
+			snap.AddDelegation(domain, ns...)
+			for _, h := range ns {
+				if h.IsSubdomainOf(zone) && rng.Intn(2) == 0 {
+					var b [4]byte
+					b[0], b[1] = 198, 51
+					b[2], b[3] = byte(rng.Intn(250)), byte(1+rng.Intn(250))
+					snap.AddGlue(h, netip.AddrFrom4(b))
+				}
+			}
+		}
+		snap.Sort()
+
+		var sb strings.Builder
+		if err := snap.Write(&sb); err != nil {
+			t.Fatalf("trial %d: Write: %v", trial, err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v\n%s", trial, err, sb.String())
+		}
+		back.Sort()
+		if back.Zone != snap.Zone || back.Date != snap.Date {
+			t.Fatalf("trial %d: metadata mismatch", trial)
+		}
+		if !reflect.DeepEqual(normalize(back.Delegations), normalize(snap.Delegations)) {
+			t.Fatalf("trial %d: delegations mismatch:\n got %+v\nwant %+v",
+				trial, back.Delegations, snap.Delegations)
+		}
+		if !reflect.DeepEqual(back.Glue, snap.Glue) {
+			t.Fatalf("trial %d: glue mismatch", trial)
+		}
+	}
+}
+
+// normalize merges duplicate-owner delegations the way Read coalesces
+// them, so structurally equivalent snapshots compare equal.
+func normalize(in []Delegation) map[dnsname.Name][]dnsname.Name {
+	out := make(map[dnsname.Name][]dnsname.Name)
+	for _, d := range in {
+		out[d.Domain] = append(out[d.Domain], d.Nameservers...)
+	}
+	return out
+}

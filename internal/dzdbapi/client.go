@@ -1,0 +1,98 @@
+package dzdbapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/dnsname"
+)
+
+// Client queries a dzdbapi server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8053".
+	BaseURL string
+	// HTTPClient overrides the default client (2s timeout) when set.
+	HTTPClient *http.Client
+}
+
+// APIError is a non-200 response.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dzdbapi: %d %s", e.Status, e.Msg)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
+			return &APIError{Status: resp.StatusCode, Msg: ae.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Msg: resp.Status}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Stats fetches database-wide counts.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.getJSON("/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Domain fetches a domain's registration spans and nameserver history.
+func (c *Client) Domain(name dnsname.Name) (*DomainResponse, error) {
+	var out DomainResponse
+	if err := c.getJSON("/domains/"+url.PathEscape(string(name)), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Nameserver fetches a nameserver's delegated domains and exposure.
+func (c *Client) Nameserver(name dnsname.Name) (*NameserverResponse, error) {
+	var out NameserverResponse
+	if err := c.getJSON("/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot fetches a zone's master-file snapshot for a date.
+func (c *Client) Snapshot(zone dnsname.Name, date string) (string, error) {
+	resp, err := c.httpClient().Get(fmt.Sprintf("%s/zones/%s/snapshot?date=%s",
+		c.BaseURL, url.PathEscape(string(zone)), url.QueryEscape(date)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Msg: string(body)}
+	}
+	return string(body), nil
+}

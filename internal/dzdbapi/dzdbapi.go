@@ -1,0 +1,232 @@
+// Package dzdbapi serves the longitudinal zone database over HTTP/JSON —
+// the counterpart of the research-access API CAIDA provides for DZDB
+// (the paper cites dzdb.caida.org/domains/WHITECOUNTY.NET when walking
+// through the original-nameserver match).
+//
+// Endpoints:
+//
+//	GET /stats                      database-wide counts
+//	GET /zones                      observed zones
+//	GET /domains/{name}             registration spans + nameserver history
+//	GET /nameservers/{name}         first-seen + delegated domains with spans
+//	GET /zones/{zone}/snapshot?date=YYYY-MM-DD   master-file snapshot
+//
+// Names are case-insensitive, as in DNS. All responses are JSON except
+// the snapshot, which is text/dns in master-file format.
+package dzdbapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/interval"
+	"repro/internal/zonedb"
+)
+
+// Span is one presence interval in API form.
+type Span struct {
+	First string `json:"first"`
+	Last  string `json:"last"`
+}
+
+func spansOf(s *interval.Set) []Span {
+	if s == nil {
+		return nil
+	}
+	out := make([]Span, 0, s.Len())
+	for _, r := range s.Spans() {
+		out = append(out, Span{First: r.First.String(), Last: r.Last.String()})
+	}
+	return out
+}
+
+// DomainResponse is the /domains/{name} payload.
+type DomainResponse struct {
+	Name       string      `json:"name"`
+	Registered []Span      `json:"registered,omitempty"`
+	NSHistory  []NSHistory `json:"ns_history,omitempty"`
+}
+
+// NSHistory is one nameserver a domain delegated to, with the days the
+// delegation was visible.
+type NSHistory struct {
+	Nameserver string `json:"nameserver"`
+	Spans      []Span `json:"spans"`
+}
+
+// NameserverResponse is the /nameservers/{name} payload.
+type NameserverResponse struct {
+	Name      string        `json:"name"`
+	FirstSeen string        `json:"first_seen,omitempty"`
+	GlueSpans []Span        `json:"glue_spans,omitempty"`
+	Domains   []DomainOfNS  `json:"domains,omitempty"`
+	Summary   DegreeSummary `json:"summary"`
+}
+
+// DomainOfNS is one domain that delegated to the nameserver.
+type DomainOfNS struct {
+	Domain string `json:"domain"`
+	Spans  []Span `json:"spans"`
+}
+
+// DegreeSummary aggregates a nameserver's exposure.
+type DegreeSummary struct {
+	Domains    int `json:"domains"`
+	DomainDays int `json:"domain_days"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Domains     int      `json:"domains"`
+	Nameservers int      `json:"nameservers"`
+	Zones       []string `json:"zones"`
+}
+
+// Server serves a closed zonedb.DB. The DB must not be mutated while
+// serving.
+type Server struct {
+	db  *zonedb.DB
+	mux *http.ServeMux
+}
+
+// New builds the API server for db.
+func New(db *zonedb.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /zones", s.handleZones)
+	s.mux.HandleFunc("GET /domains/{name}", s.handleDomain)
+	s.mux.HandleFunc("GET /nameservers/{name}", s.handleNameserver)
+	s.mux.HandleFunc("GET /zones/{zone}/snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func parseName(w http.ResponseWriter, raw string) (dnsname.Name, bool) {
+	n, err := dnsname.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid name %q: %v", raw, err)
+		return "", false
+	}
+	return n, true
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	zones := s.db.Zones()
+	zs := make([]string, len(zones))
+	for i, z := range zones {
+		zs[i] = string(z)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Domains:     s.db.NumDomains(),
+		Nameservers: s.db.NumNameservers(),
+		Zones:       zs,
+	})
+}
+
+func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
+	zones := s.db.Zones()
+	zs := make([]string, len(zones))
+	for i, z := range zones {
+		zs[i] = string(z)
+	}
+	writeJSON(w, http.StatusOK, zs)
+}
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	name, ok := parseName(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	resp := DomainResponse{Name: string(name)}
+	resp.Registered = spansOf(s.db.DomainSpans(name))
+	hist := s.db.NSHistory(name)
+	for ns, sp := range hist {
+		resp.NSHistory = append(resp.NSHistory, NSHistory{Nameserver: string(ns), Spans: spansOf(sp)})
+	}
+	sort.Slice(resp.NSHistory, func(i, j int) bool {
+		return resp.NSHistory[i].Nameserver < resp.NSHistory[j].Nameserver
+	})
+	if resp.Registered == nil && len(resp.NSHistory) == 0 {
+		writeError(w, http.StatusNotFound, "domain %s not observed", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNameserver(w http.ResponseWriter, r *http.Request) {
+	name, ok := parseName(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	first := s.db.NSFirstSeen(name)
+	if first == dates.None {
+		writeError(w, http.StatusNotFound, "nameserver %s not observed", name)
+		return
+	}
+	resp := NameserverResponse{Name: string(name), FirstSeen: first.String()}
+	resp.GlueSpans = spansOf(s.db.GlueSpans(name))
+	for _, e := range s.db.EdgesOf(name) {
+		sp := s.db.EdgeSpans(e.Domain, name)
+		resp.Domains = append(resp.Domains, DomainOfNS{Domain: string(e.Domain), Spans: spansOf(sp)})
+		resp.Summary.Domains++
+		resp.Summary.DomainDays += sp.TotalDays()
+	}
+	sort.Slice(resp.Domains, func(i, j int) bool { return resp.Domains[i].Domain < resp.Domains[j].Domain })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	zone, ok := parseName(w, r.PathValue("zone"))
+	if !ok {
+		return
+	}
+	raw := r.URL.Query().Get("date")
+	day, err := dates.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid date %q (want YYYY-MM-DD)", raw)
+		return
+	}
+	found := false
+	for _, z := range s.db.Zones() {
+		if z == zone {
+			found = true
+		}
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, "zone %s not observed", zone)
+		return
+	}
+	snap := s.db.SnapshotOn(zone, day)
+	w.Header().Set("Content-Type", "text/dns; charset=utf-8")
+	var sb strings.Builder
+	if err := snap.Write(&sb); err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering snapshot: %v", err)
+		return
+	}
+	_, _ = w.Write([]byte(sb.String()))
+}

@@ -1,0 +1,134 @@
+package dzdbapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/zonedb"
+)
+
+func d(n int) dates.Day { return dates.Day(n) }
+
+func testDB() *zonedb.DB {
+	db := zonedb.New()
+	db.DomainAdded("net", "whitecounty.net", d(0))
+	db.DelegationAdded("net", "whitecounty.net", "ns2.internetemc.com", d(0))
+	db.DelegationRemoved("net", "whitecounty.net", "ns2.internetemc.com", d(100))
+	db.DelegationAdded("net", "whitecounty.net", "ns2.internetemc1aj2kdy.biz", d(100))
+	db.DomainAdded("com", "internetemc.com", d(0))
+	db.GlueAdded("com", "ns2.internetemc.com", d(0))
+	db.DelegationAdded("com", "internetemc.com", "ns2.internetemc.com", d(0))
+	db.GlueRemoved("com", "ns2.internetemc.com", d(100))
+	db.DomainRemoved("com", "internetemc.com", d(100))
+	db.DelegationRemoved("com", "internetemc.com", "ns2.internetemc.com", d(100))
+	db.Close(d(200))
+	return db
+}
+
+func startAPI(t *testing.T) *Client {
+	t.Helper()
+	srv := httptest.NewServer(New(testDB()))
+	t.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL}
+}
+
+func TestStats(t *testing.T) {
+	c := startAPI(t)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Domains != 2 || stats.Nameservers != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.Zones) != 2 || stats.Zones[0] != "com" {
+		t.Fatalf("zones = %v", stats.Zones)
+	}
+}
+
+func TestDomainHistory(t *testing.T) {
+	c := startAPI(t)
+	resp, err := c.Domain("WHITECOUNTY.NET") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.NSHistory) != 2 {
+		t.Fatalf("history = %+v", resp.NSHistory)
+	}
+	// The original NS was last seen the day before the sacrificial one
+	// appeared — the exact query §3.2.3 performs.
+	var origLast, sacFirst string
+	for _, h := range resp.NSHistory {
+		if h.Nameserver == "ns2.internetemc.com" {
+			origLast = h.Spans[len(h.Spans)-1].Last
+		}
+		if h.Nameserver == "ns2.internetemc1aj2kdy.biz" {
+			sacFirst = h.Spans[0].First
+		}
+	}
+	lastDay, _ := dates.Parse(origLast)
+	firstDay, _ := dates.Parse(sacFirst)
+	if firstDay != lastDay+1 {
+		t.Fatalf("history discontinuity: %s then %s", origLast, sacFirst)
+	}
+}
+
+func TestNameserver(t *testing.T) {
+	c := startAPI(t)
+	resp, err := c.Nameserver("ns2.internetemc1aj2kdy.biz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FirstSeen != d(100).String() {
+		t.Errorf("first seen = %s", resp.FirstSeen)
+	}
+	if resp.Summary.Domains != 1 || resp.Summary.DomainDays != 101 {
+		t.Errorf("summary = %+v", resp.Summary)
+	}
+	if len(resp.GlueSpans) != 0 {
+		t.Errorf("sacrificial NS should have no glue: %+v", resp.GlueSpans)
+	}
+	withGlue, err := c.Nameserver("ns2.internetemc.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withGlue.GlueSpans) != 1 {
+		t.Errorf("glue spans = %+v", withGlue.GlueSpans)
+	}
+}
+
+func TestNotFoundAndBadRequest(t *testing.T) {
+	c := startAPI(t)
+	if _, err := c.Domain("ghost.com"); err == nil {
+		t.Error("missing domain should 404")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != 404 {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Nameserver("never.seen.biz"); err == nil {
+		t.Error("missing NS should 404")
+	}
+	if _, err := c.Domain("-bad-.com"); err == nil {
+		t.Error("invalid name should 400")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != 400 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	c := startAPI(t)
+	body, err := c.Snapshot("net", d(50).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "$ORIGIN net.") || !strings.Contains(body, "ns2.internetemc.com.") {
+		t.Fatalf("snapshot body:\n%s", body)
+	}
+	if _, err := c.Snapshot("net", "not-a-date"); err == nil {
+		t.Error("bad date should fail")
+	}
+	if _, err := c.Snapshot("org", d(50).String()); err == nil {
+		t.Error("unknown zone should 404")
+	}
+}

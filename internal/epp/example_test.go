@@ -1,0 +1,42 @@
+package epp_test
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/epp"
+)
+
+// Example walks the exact Figure 1 scenario: EPP's consistency rules
+// block deleting foo.com, so registrar A renames the referenced host
+// into an external namespace — silently rewriting bar.com's delegation.
+func Example() {
+	repo := epp.NewRepository("Verisign", "com", "net", "edu", "gov")
+	day := dates.FromYMD(2019, 7, 1)
+	expiry := day.AddYears(1)
+
+	repo.CreateDomain("registrar-a", "foo.com", day, expiry)
+	repo.CreateHost("registrar-a", "ns2.foo.com", day)
+	repo.CreateDomain("registrar-b", "bar.com", day, expiry)
+	repo.SetDomainNS("registrar-b", "bar.com", "ns2.foo.com")
+
+	// RFC 5731: the domain cannot be deleted while subordinate host
+	// objects exist.
+	fmt.Println(repo.DeleteDomain("registrar-a", "foo.com"))
+	// RFC 5732: the host cannot be deleted while bar.com links to it.
+	fmt.Println(repo.DeleteHost("registrar-a", "ns2.foo.com"))
+
+	// The workaround: rename into a namespace this repository does not
+	// manage. No fooxxxx.biz object exists anywhere — EPP allows it.
+	fmt.Println(repo.RenameHost("registrar-a", "ns2.foo.com", "ns2.fooxxxx.biz"))
+	fmt.Println(repo.DeleteDomain("registrar-a", "foo.com"))
+
+	d, _ := repo.DomainInfo("bar.com")
+	fmt.Println("bar.com now delegates to:", repo.NSNames(d))
+	// Output:
+	// epp: 2305 domain foo.com has 1 subordinate host object(s)
+	// epp: 2305 host ns2.foo.com linked by 1 domain(s)
+	// <nil>
+	// <nil>
+	// bar.com now delegates to: [ns2.fooxxxx.biz]
+}

@@ -1,0 +1,189 @@
+package epp
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// This file implements the registrar-driven transfer workflow of RFC
+// 5730 §2.9.3.4 / RFC 5731 §3.2.4 — authInfo authorization, a pending
+// state the losing registrar can approve or reject, and service
+// messages delivered through the poll queue (RFC 5730 §2.9.2.3).
+//
+// The drop-catch of an expired domain (how dummyns.com changed hands in
+// footnote 6) is the registry-operated TransferDomain; this workflow is
+// the ordinary registrar-to-registrar path.
+
+// TransferState describes a domain's transfer status.
+type TransferState int
+
+// Transfer states.
+const (
+	TransferNone TransferState = iota
+	TransferPending
+)
+
+// pendingTransfer tracks an in-flight transfer request.
+type pendingTransfer struct {
+	to        RegistrarID
+	requested dates.Day
+}
+
+// PollMessage is one service message awaiting a registrar.
+type PollMessage struct {
+	ID   int
+	Day  dates.Day
+	Text string
+}
+
+// SetAuthInfo sets a domain's transfer-authorization password. Only the
+// sponsoring registrar may change it.
+func (r *Repository) SetAuthInfo(registrar RegistrarID, name dnsname.Name, authInfo string) error {
+	d, ok := r.domains[name]
+	if !ok {
+		return errf(CodeObjectDoesNotExist, "domain %s does not exist", name)
+	}
+	if d.Sponsor != registrar {
+		return errf(CodeAuthorizationError, "domain %s sponsored by %s", name, d.Sponsor)
+	}
+	d.AuthInfo = authInfo
+	return nil
+}
+
+// RequestTransfer starts a transfer of name to the gaining registrar.
+// The request must carry the domain's authInfo (obtained from the
+// registrant); a wrong authInfo is an authorization error. Both
+// registrars receive poll messages.
+func (r *Repository) RequestTransfer(gaining RegistrarID, name dnsname.Name, authInfo string, day dates.Day) error {
+	d, ok := r.domains[name]
+	if !ok {
+		return errf(CodeObjectDoesNotExist, "domain %s does not exist", name)
+	}
+	if d.Sponsor == gaining {
+		return errf(CodeParameterPolicy, "domain %s already sponsored by %s", name, gaining)
+	}
+	if d.AuthInfo == "" || d.AuthInfo != authInfo {
+		return errf(CodeAuthorizationError, "domain %s: invalid authorization information", name)
+	}
+	if _, pending := r.transfers[name]; pending {
+		return errf(CodeStatusProhibits, "domain %s: transfer already pending", name)
+	}
+	if r.transfers == nil {
+		r.transfers = make(map[dnsname.Name]pendingTransfer)
+	}
+	r.transfers[name] = pendingTransfer{to: gaining, requested: day}
+	r.enqueuePoll(d.Sponsor, day, fmt.Sprintf("Transfer of %s requested by %s", name, gaining))
+	r.enqueuePoll(gaining, day, fmt.Sprintf("Transfer of %s pending approval by %s", name, d.Sponsor))
+	return nil
+}
+
+// TransferStatus reports whether a transfer is pending for name, and to
+// whom.
+func (r *Repository) TransferStatus(name dnsname.Name) (TransferState, RegistrarID) {
+	if p, ok := r.transfers[name]; ok {
+		return TransferPending, p.to
+	}
+	return TransferNone, ""
+}
+
+// ApproveTransfer completes a pending transfer. Only the losing
+// (current sponsoring) registrar may approve. Sponsorship moves to the
+// gaining registrar and both parties are notified.
+func (r *Repository) ApproveTransfer(losing RegistrarID, name dnsname.Name, day dates.Day) error {
+	d, ok := r.domains[name]
+	if !ok {
+		return errf(CodeObjectDoesNotExist, "domain %s does not exist", name)
+	}
+	p, pending := r.transfers[name]
+	if !pending {
+		return errf(CodeStatusProhibits, "domain %s: no transfer pending", name)
+	}
+	if d.Sponsor != losing {
+		return errf(CodeAuthorizationError, "domain %s sponsored by %s", name, d.Sponsor)
+	}
+	delete(r.transfers, name)
+	d.Sponsor = p.to
+	r.enqueuePoll(losing, day, fmt.Sprintf("Transfer of %s approved; now sponsored by %s", name, p.to))
+	r.enqueuePoll(p.to, day, fmt.Sprintf("Transfer of %s completed", name))
+	return nil
+}
+
+// RejectTransfer cancels a pending transfer. Only the losing registrar
+// may reject; the gaining registrar is notified.
+func (r *Repository) RejectTransfer(losing RegistrarID, name dnsname.Name, day dates.Day) error {
+	d, ok := r.domains[name]
+	if !ok {
+		return errf(CodeObjectDoesNotExist, "domain %s does not exist", name)
+	}
+	p, pending := r.transfers[name]
+	if !pending {
+		return errf(CodeStatusProhibits, "domain %s: no transfer pending", name)
+	}
+	if d.Sponsor != losing {
+		return errf(CodeAuthorizationError, "domain %s sponsored by %s", name, d.Sponsor)
+	}
+	delete(r.transfers, name)
+	r.enqueuePoll(p.to, day, fmt.Sprintf("Transfer of %s rejected by %s", name, losing))
+	return nil
+}
+
+// AutoAckTransfers approves every transfer pending longer than ackDays
+// (registries auto-approve after five days when the losing registrar
+// does not act, RFC 5731 §3.2.4). Returns the completed domain names.
+func (r *Repository) AutoAckTransfers(day dates.Day, ackDays int) []dnsname.Name {
+	var done []dnsname.Name
+	for name, p := range r.transfers {
+		if day.Sub(p.requested) < ackDays {
+			continue
+		}
+		done = append(done, name)
+	}
+	for _, name := range done {
+		p := r.transfers[name]
+		d := r.domains[name]
+		delete(r.transfers, name)
+		if d == nil {
+			continue
+		}
+		old := d.Sponsor
+		d.Sponsor = p.to
+		r.enqueuePoll(old, day, fmt.Sprintf("Transfer of %s auto-approved after %d days", name, ackDays))
+		r.enqueuePoll(p.to, day, fmt.Sprintf("Transfer of %s completed", name))
+	}
+	return done
+}
+
+// enqueuePoll appends a service message to a registrar's poll queue.
+func (r *Repository) enqueuePoll(to RegistrarID, day dates.Day, text string) {
+	if r.pollQueues == nil {
+		r.pollQueues = make(map[RegistrarID][]PollMessage)
+	}
+	r.nextPollID++
+	r.pollQueues[to] = append(r.pollQueues[to], PollMessage{ID: r.nextPollID, Day: day, Text: text})
+}
+
+// PollRequest returns the oldest queued message for the registrar and
+// the number of messages remaining in the queue (including the returned
+// one), or ok=false when the queue is empty (RFC 5730 <poll op="req">).
+func (r *Repository) PollRequest(registrar RegistrarID) (msg PollMessage, remaining int, ok bool) {
+	q := r.pollQueues[registrar]
+	if len(q) == 0 {
+		return PollMessage{}, 0, false
+	}
+	return q[0], len(q), true
+}
+
+// PollAck removes the message with the given ID from the registrar's
+// queue (RFC 5730 <poll op="ack">). Acking an unknown ID is an error.
+func (r *Repository) PollAck(registrar RegistrarID, id int) error {
+	q := r.pollQueues[registrar]
+	for i, m := range q {
+		if m.ID == id {
+			r.pollQueues[registrar] = append(q[:i], q[i+1:]...)
+			return nil
+		}
+	}
+	return errf(CodeParameterPolicy, "no queued message with id %d", id)
+}

@@ -1,0 +1,141 @@
+package epp
+
+import "testing"
+
+func setupTransferable(t *testing.T) *Repository {
+	t.Helper()
+	r := verisign()
+	if _, err := r.CreateDomain("losing", "moving.com", day0, expiry); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAuthInfo("losing", "moving.com", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTransferRequestAuthInfo(t *testing.T) {
+	r := setupTransferable(t)
+	wantCode(t, r.RequestTransfer("gaining", "moving.com", "wrong", day0), CodeAuthorizationError)
+	wantCode(t, r.RequestTransfer("gaining", "ghost.com", "s3cret", day0), CodeObjectDoesNotExist)
+	wantCode(t, r.RequestTransfer("losing", "moving.com", "s3cret", day0), CodeParameterPolicy)
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	// A second request while one is pending is refused.
+	wantCode(t, r.RequestTransfer("third", "moving.com", "s3cret", day0), CodeStatusProhibits)
+	state, to := r.TransferStatus("moving.com")
+	if state != TransferPending || to != "gaining" {
+		t.Fatalf("status = %v, %s", state, to)
+	}
+}
+
+func TestTransferApprove(t *testing.T) {
+	r := setupTransferable(t)
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	// Only the losing registrar may approve.
+	wantCode(t, r.ApproveTransfer("bystander", "moving.com", day0.Add(1)), CodeAuthorizationError)
+	if err := r.ApproveTransfer("losing", "moving.com", day0.Add(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := r.DomainInfo("moving.com")
+	if d.Sponsor != "gaining" {
+		t.Fatalf("sponsor = %s", d.Sponsor)
+	}
+	if state, _ := r.TransferStatus("moving.com"); state != TransferNone {
+		t.Error("transfer still pending after approval")
+	}
+	// Approving again fails.
+	wantCode(t, r.ApproveTransfer("gaining", "moving.com", day0.Add(2)), CodeStatusProhibits)
+}
+
+func TestTransferReject(t *testing.T) {
+	r := setupTransferable(t)
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RejectTransfer("losing", "moving.com", day0.Add(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := r.DomainInfo("moving.com")
+	if d.Sponsor != "losing" {
+		t.Fatalf("sponsor = %s", d.Sponsor)
+	}
+	// The gaining registrar learns via poll.
+	msg, _, ok := r.PollRequest("gaining")
+	for ok {
+		if err := r.PollAck("gaining", msg.ID); err != nil {
+			t.Fatal(err)
+		}
+		last := msg.Text
+		msg, _, ok = r.PollRequest("gaining")
+		if !ok && last == "" {
+			t.Error("no rejection message delivered")
+		}
+	}
+}
+
+func TestTransferAutoAck(t *testing.T) {
+	r := setupTransferable(t)
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	if done := r.AutoAckTransfers(day0.Add(3), 5); len(done) != 0 {
+		t.Fatalf("auto-ack fired early: %v", done)
+	}
+	done := r.AutoAckTransfers(day0.Add(5), 5)
+	if len(done) != 1 || done[0] != "moving.com" {
+		t.Fatalf("auto-ack = %v", done)
+	}
+	d, _ := r.DomainInfo("moving.com")
+	if d.Sponsor != "gaining" {
+		t.Fatalf("sponsor = %s", d.Sponsor)
+	}
+}
+
+func TestPollQueue(t *testing.T) {
+	r := setupTransferable(t)
+	if _, _, ok := r.PollRequest("losing"); ok {
+		t.Fatal("fresh queue should be empty")
+	}
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	msg, remaining, ok := r.PollRequest("losing")
+	if !ok || remaining != 1 || msg.Day != day0 {
+		t.Fatalf("poll = %+v, %d, %v", msg, remaining, ok)
+	}
+	// Poll without ack returns the same message (at-least-once delivery).
+	again, _, _ := r.PollRequest("losing")
+	if again.ID != msg.ID {
+		t.Error("poll advanced without ack")
+	}
+	if err := r.PollAck("losing", msg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.PollRequest("losing"); ok {
+		t.Error("queue not empty after ack")
+	}
+	wantCode(t, r.PollAck("losing", 99999), CodeParameterPolicy)
+}
+
+func TestTransferClearedByDeletion(t *testing.T) {
+	r := setupTransferable(t)
+	if err := r.RequestTransfer("gaining", "moving.com", "s3cret", day0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeleteDomain("losing", "moving.com"); err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := r.TransferStatus("moving.com"); state != TransferNone {
+		t.Error("pending transfer survived deletion")
+	}
+}
+
+func TestSetAuthInfoSponsorship(t *testing.T) {
+	r := setupTransferable(t)
+	wantCode(t, r.SetAuthInfo("stranger", "moving.com", "x"), CodeAuthorizationError)
+	wantCode(t, r.SetAuthInfo("losing", "ghost.com", "x"), CodeObjectDoesNotExist)
+}

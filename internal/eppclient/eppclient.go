@@ -1,0 +1,236 @@
+// Package eppclient is a typed EPP client for the eppserver: it dials,
+// consumes the greeting, logs in, and exposes one method per command.
+// Errors carry the server's EPP result code.
+package eppclient
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/eppwire"
+)
+
+// ResultError is a non-success EPP response.
+type ResultError struct {
+	Code int
+	Msg  string
+}
+
+func (e *ResultError) Error() string {
+	return fmt.Sprintf("epp result %d: %s", e.Code, e.Msg)
+}
+
+// IsCode reports whether err is a ResultError with the given code.
+func IsCode(err error, code int) bool {
+	re, ok := err.(*ResultError)
+	return ok && re.Code == code
+}
+
+// Client is one authenticated EPP session. Not safe for concurrent use
+// (EPP sessions are strictly request/response).
+type Client struct {
+	conn     net.Conn
+	greeting *eppwire.Greeting
+	seq      int
+}
+
+// Dial connects, reads the greeting, and logs in as clientID.
+func Dial(addr, clientID, password string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	hello, err := eppwire.Receive(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("eppclient: reading greeting: %w", err)
+	}
+	if hello.Greeting == nil {
+		conn.Close()
+		return nil, fmt.Errorf("eppclient: expected greeting, got %+v", hello)
+	}
+	c.greeting = hello.Greeting
+	if _, err := c.roundTrip(&eppwire.Command{
+		Login: &eppwire.Login{ClientID: clientID, Password: password},
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Greeting returns the server greeting received at connect time.
+func (c *Client) Greeting() *eppwire.Greeting { return c.greeting }
+
+// Close logs out and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip(&eppwire.Command{Logout: &eppwire.Logout{}})
+	return c.conn.Close()
+}
+
+// roundTrip sends one command and returns the response, converting
+// non-1xxx results to ResultError.
+func (c *Client) roundTrip(cmd *eppwire.Command) (*eppwire.Response, error) {
+	c.seq++
+	cmd.ClTRID = fmt.Sprintf("CL-%d", c.seq)
+	if err := eppwire.Send(c.conn, &eppwire.EPP{Command: cmd}); err != nil {
+		return nil, err
+	}
+	resp, err := eppwire.Receive(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Response == nil {
+		return nil, fmt.Errorf("eppclient: expected response, got %+v", resp)
+	}
+	r := resp.Response
+	if r.Result.Code >= 2000 {
+		return r, &ResultError{Code: r.Result.Code, Msg: r.Result.Msg}
+	}
+	return r, nil
+}
+
+// CheckDomains reports availability per domain name.
+func (c *Client) CheckDomains(names ...string) (map[string]bool, error) {
+	resp, err := c.roundTrip(&eppwire.Command{Check: &eppwire.Check{Domains: names}})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	if resp.ResData != nil {
+		for _, item := range resp.ResData.CheckResult {
+			out[item.Name] = item.Available
+		}
+	}
+	return out, nil
+}
+
+// CreateDomain provisions a domain with an optional delegation.
+func (c *Client) CreateDomain(name string, years int, ns ...string) error {
+	_, err := c.roundTrip(&eppwire.Command{Create: &eppwire.Create{
+		Domain: &eppwire.DomainCreate{Name: name, Period: years, NS: ns},
+	}})
+	return err
+}
+
+// CreateDomainWithAuth provisions a domain with a transfer-authorization
+// password and an optional delegation.
+func (c *Client) CreateDomainWithAuth(name string, years int, authInfo string, ns ...string) error {
+	_, err := c.roundTrip(&eppwire.Command{Create: &eppwire.Create{
+		Domain: &eppwire.DomainCreate{Name: name, Period: years, NS: ns, AuthInfo: authInfo},
+	}})
+	return err
+}
+
+// CreateHost provisions a host object with optional glue addresses.
+func (c *Client) CreateHost(name string, addrs ...string) error {
+	_, err := c.roundTrip(&eppwire.Command{Create: &eppwire.Create{
+		Host: &eppwire.HostCreate{Name: name, Addrs: addrs},
+	}})
+	return err
+}
+
+// DeleteDomain deletes a domain object.
+func (c *Client) DeleteDomain(name string) error {
+	_, err := c.roundTrip(&eppwire.Command{Delete: &eppwire.Delete{Domain: name}})
+	return err
+}
+
+// DeleteHost deletes a host object.
+func (c *Client) DeleteHost(name string) error {
+	_, err := c.roundTrip(&eppwire.Command{Delete: &eppwire.Delete{Host: name}})
+	return err
+}
+
+// RenameHost renames a host object (<host:chg><host:name>).
+func (c *Client) RenameHost(oldName, newName string) error {
+	_, err := c.roundTrip(&eppwire.Command{Update: &eppwire.Update{
+		Host: &eppwire.HostUpdate{Name: oldName, NewName: newName},
+	}})
+	return err
+}
+
+// SetNS replaces a domain's delegation.
+func (c *Client) SetNS(domain string, ns ...string) error {
+	_, err := c.roundTrip(&eppwire.Command{Update: &eppwire.Update{
+		Domain: &eppwire.DomainUpdate{Name: domain, NS: ns},
+	}})
+	return err
+}
+
+// RenewDomain extends a registration by years.
+func (c *Client) RenewDomain(name string, years int) error {
+	_, err := c.roundTrip(&eppwire.Command{Renew: &eppwire.Renew{Domain: name, Years: years}})
+	return err
+}
+
+// DomainInfo fetches domain details.
+func (c *Client) DomainInfo(name string) (*eppwire.DomainInfoData, error) {
+	resp, err := c.roundTrip(&eppwire.Command{Info: &eppwire.Info{Domain: name}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.ResData == nil || resp.ResData.DomainInfo == nil {
+		return nil, fmt.Errorf("eppclient: missing domain info data")
+	}
+	return resp.ResData.DomainInfo, nil
+}
+
+// HostInfo fetches host details, including linked domains.
+func (c *Client) HostInfo(name string) (*eppwire.HostInfoData, error) {
+	resp, err := c.roundTrip(&eppwire.Command{Info: &eppwire.Info{Host: name}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.ResData == nil || resp.ResData.HostInfo == nil {
+		return nil, fmt.Errorf("eppclient: missing host info data")
+	}
+	return resp.ResData.HostInfo, nil
+}
+
+// RequestTransfer asks to transfer a domain to this session's registrar,
+// authorized by the domain's authInfo.
+func (c *Client) RequestTransfer(domain, authInfo string) error {
+	_, err := c.roundTrip(&eppwire.Command{Transfer: &eppwire.Transfer{
+		Op: "request", Domain: domain, AuthInfo: authInfo,
+	}})
+	return err
+}
+
+// ApproveTransfer approves a pending transfer away from this registrar.
+func (c *Client) ApproveTransfer(domain string) error {
+	_, err := c.roundTrip(&eppwire.Command{Transfer: &eppwire.Transfer{Op: "approve", Domain: domain}})
+	return err
+}
+
+// RejectTransfer rejects a pending transfer away from this registrar.
+func (c *Client) RejectTransfer(domain string) error {
+	_, err := c.roundTrip(&eppwire.Command{Transfer: &eppwire.Transfer{Op: "reject", Domain: domain}})
+	return err
+}
+
+// QueryTransfer reports the server's transfer-status message for domain.
+func (c *Client) QueryTransfer(domain string) (string, error) {
+	resp, err := c.roundTrip(&eppwire.Command{Transfer: &eppwire.Transfer{Op: "query", Domain: domain}})
+	if err != nil {
+		return "", err
+	}
+	return resp.Result.Msg, nil
+}
+
+// Poll fetches the oldest queued service message, or nil when the queue
+// is empty (RFC 5730 <poll op="req">).
+func (c *Client) Poll() (*eppwire.MsgQueue, error) {
+	resp, err := c.roundTrip(&eppwire.Command{Poll: &eppwire.Poll{Op: "req"}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.MsgQueue, nil
+}
+
+// PollAck dequeues the message with the given ID.
+func (c *Client) PollAck(id string) error {
+	_, err := c.roundTrip(&eppwire.Command{Poll: &eppwire.Poll{Op: "ack", MsgID: id}})
+	return err
+}

@@ -1,0 +1,76 @@
+package eppclient
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/eppwire"
+)
+
+func TestResultError(t *testing.T) {
+	err := &ResultError{Code: 2305, Msg: "association prohibits"}
+	if err.Error() == "" {
+		t.Error("empty error string")
+	}
+	if !IsCode(err, 2305) || IsCode(err, 2201) {
+		t.Error("IsCode broken")
+	}
+	if IsCode(errors.New("plain"), 2305) {
+		t.Error("IsCode matched a foreign error")
+	}
+}
+
+// fakeServer speaks just enough EPP to exercise client error paths.
+func fakeServer(t *testing.T, greeting bool, loginCode int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if greeting {
+			_ = eppwire.Send(conn, &eppwire.EPP{Greeting: &eppwire.Greeting{ServerID: "fake"}})
+		} else {
+			// Send a response instead of a greeting.
+			_ = eppwire.Send(conn, &eppwire.EPP{Response: &eppwire.Response{Result: eppwire.Result{Code: 1000, Msg: "?"}}})
+			return
+		}
+		req, err := eppwire.Receive(conn)
+		if err != nil || req.Command == nil || req.Command.Login == nil {
+			return
+		}
+		_ = eppwire.Send(conn, &eppwire.EPP{Response: &eppwire.Response{
+			Result: eppwire.Result{Code: loginCode, Msg: "login result"},
+			ClTRID: req.Command.ClTRID,
+		}})
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialRejectsMissingGreeting(t *testing.T) {
+	addr := fakeServer(t, false, 1000)
+	if _, err := Dial(addr, "x", "pw"); err == nil {
+		t.Fatal("Dial should fail without a greeting")
+	}
+}
+
+func TestDialPropagatesLoginFailure(t *testing.T) {
+	addr := fakeServer(t, true, 2200)
+	_, err := Dial(addr, "x", "pw")
+	if !IsCode(err, 2200) {
+		t.Fatalf("err = %v, want 2200", err)
+	}
+}
+
+func TestDialConnectFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "x", "pw"); err == nil {
+		t.Fatal("Dial to a closed port should fail")
+	}
+}

@@ -1,0 +1,439 @@
+// Package eppserver serves a registry's EPP repository over TCP using
+// the eppwire codec: greeting on connect, mandatory login, then domain
+// and host commands executed against the repository with full RFC
+// 5731/5732 constraint enforcement — including the host-rename loophole.
+//
+// The server exists so the rename-to-delete workflow can be driven over
+// a real protocol session (examples/epp-rename and the integration
+// tests), not just via direct method calls.
+package eppserver
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+	"repro/internal/eppwire"
+	"repro/internal/registry"
+)
+
+// Server is an EPP protocol front end for one registry.
+type Server struct {
+	reg *registry.Registry
+
+	// Clock supplies the server's current date; registrations and
+	// renames are stamped with it. Defaults to a fixed date when nil.
+	Clock func() dates.Day
+
+	// Logf, when non-nil, receives one line per command.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex // serializes repository access
+	ln     net.Listener
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	trid   atomic.Int64
+}
+
+// New creates a server for the registry.
+func New(reg *registry.Registry) *Server {
+	return &Server{reg: reg}
+}
+
+// Serve accepts sessions on ln until Close is called. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return net.ErrClosed
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.session(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned address channel
+// receives the bound address once listening (useful with ":0").
+func (s *Server) ListenAndServe(addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting sessions and waits for active ones to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) now() dates.Day {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return dates.FromYMD(2020, 9, 15)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// session runs one client connection.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	greeting := &eppwire.EPP{Greeting: &eppwire.Greeting{
+		ServerID:   s.reg.Name(),
+		ServerDate: s.now().String(),
+		Services:   []string{"urn:epp:domain", "urn:epp:host"},
+	}}
+	if err := eppwire.Send(conn, greeting); err != nil {
+		return
+	}
+	var client epp.RegistrarID
+	for {
+		req, err := eppwire.Receive(conn)
+		if err != nil {
+			return
+		}
+		if req.Command == nil {
+			s.reply(conn, "", 2001, "command syntax error", nil)
+			continue
+		}
+		cmd := req.Command
+		s.logf("epp %s: %s from %q", s.reg.Name(), cmd.Verb(), client)
+		if cmd.Logout != nil {
+			s.reply(conn, cmd.ClTRID, 1500, "Command completed successfully; ending session", nil)
+			return
+		}
+		if cmd.Login != nil {
+			if cmd.Login.ClientID == "" {
+				s.reply(conn, cmd.ClTRID, 2200, "invalid registrar credentials", nil)
+				continue
+			}
+			client = epp.RegistrarID(cmd.Login.ClientID)
+			s.reply(conn, cmd.ClTRID, 1000, "Command completed successfully", nil)
+			continue
+		}
+		if client == "" {
+			s.reply(conn, cmd.ClTRID, 2002, "login required", nil)
+			continue
+		}
+		code, msg, data, msgQ := s.executeFull(client, cmd)
+		s.replyFull(conn, cmd.ClTRID, code, msg, data, msgQ)
+	}
+}
+
+func (s *Server) reply(conn net.Conn, clTRID string, code int, msg string, data *eppwire.ResData) {
+	s.replyFull(conn, clTRID, code, msg, data, nil)
+}
+
+func (s *Server) replyFull(conn net.Conn, clTRID string, code int, msg string, data *eppwire.ResData, msgQ *eppwire.MsgQueue) {
+	resp := &eppwire.EPP{Response: &eppwire.Response{
+		Result:   eppwire.Result{Code: code, Msg: msg},
+		MsgQueue: msgQ,
+		ResData:  data,
+		ClTRID:   clTRID,
+		SvTRID:   fmt.Sprintf("SV-%s-%d", s.reg.Name(), s.trid.Add(1)),
+	}}
+	if err := eppwire.Send(conn, resp); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Printf("eppserver: send: %v", err)
+	}
+}
+
+// executeFull dispatches one authenticated command, returning the result
+// plus an optional service-message envelope (poll).
+func (s *Server) executeFull(client epp.RegistrarID, cmd *eppwire.Command) (int, string, *eppwire.ResData, *eppwire.MsgQueue) {
+	if cmd.Poll != nil && cmd.Poll.Op == "req" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		msg, remaining, okQ := s.reg.Repository().PollRequest(client)
+		if !okQ {
+			return 1300, "Command completed successfully; no messages", nil, nil
+		}
+		return 1301, "Command completed successfully; ack to dequeue", nil, &eppwire.MsgQueue{
+			Count: remaining,
+			ID:    fmt.Sprintf("%d", msg.ID),
+			Date:  msg.Day.String(),
+			Msg:   msg.Text,
+		}
+	}
+	code, msg, data := s.execute(client, cmd)
+	return code, msg, data, nil
+}
+
+// execute dispatches one authenticated command against the repository.
+func (s *Server) execute(client epp.RegistrarID, cmd *eppwire.Command) (int, string, *eppwire.ResData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	repo := s.reg.Repository()
+	fail := func(err error) (int, string, *eppwire.ResData) {
+		if code := epp.CodeOf(err); code != 0 {
+			return int(code), err.Error(), nil
+		}
+		return 2400, err.Error(), nil
+	}
+	ok := func(data *eppwire.ResData) (int, string, *eppwire.ResData) {
+		return 1000, "Command completed successfully", data
+	}
+	switch {
+	case cmd.Check != nil:
+		var items []eppwire.CheckItem
+		for _, raw := range cmd.Check.Domains {
+			name, err := dnsname.Parse(raw)
+			if err != nil {
+				return 2005, fmt.Sprintf("parameter value syntax error: %v", err), nil
+			}
+			items = append(items, eppwire.CheckItem{Name: raw, Available: !repo.DomainExists(name)})
+		}
+		for _, raw := range cmd.Check.Hosts {
+			name, err := dnsname.Parse(raw)
+			if err != nil {
+				return 2005, fmt.Sprintf("parameter value syntax error: %v", err), nil
+			}
+			items = append(items, eppwire.CheckItem{Name: raw, Available: !repo.HostExists(name)})
+		}
+		return ok(&eppwire.ResData{CheckResult: items})
+
+	case cmd.Info != nil && cmd.Info.Domain != "":
+		name, err := dnsname.Parse(cmd.Info.Domain)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		d, err := repo.DomainInfo(name)
+		if err != nil {
+			return fail(err)
+		}
+		ns := make([]string, 0)
+		for _, h := range repo.NSNames(d) {
+			ns = append(ns, string(h))
+		}
+		return ok(&eppwire.ResData{DomainInfo: &eppwire.DomainInfoData{
+			Name: string(d.Name), ROID: string(d.ROID), Sponsor: string(d.Sponsor),
+			NS: ns, Created: d.Created.String(), Expiry: d.Expiry.String(),
+		}})
+
+	case cmd.Info != nil && cmd.Info.Host != "":
+		name, err := dnsname.Parse(cmd.Info.Host)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		h, err := repo.HostInfo(name)
+		if err != nil {
+			return fail(err)
+		}
+		data := &eppwire.HostInfoData{
+			Name: string(h.Name), ROID: string(h.ROID), Sponsor: string(h.Sponsor),
+			Superordinate: string(h.Superordinate),
+		}
+		for _, a := range h.Addrs {
+			data.Addrs = append(data.Addrs, a.String())
+		}
+		for _, d := range repo.LinkedDomains(name) {
+			data.LinkedDomains = append(data.LinkedDomains, string(d))
+		}
+		return ok(&eppwire.ResData{HostInfo: data})
+
+	case cmd.Create != nil && cmd.Create.Domain != nil:
+		dc := cmd.Create.Domain
+		name, err := dnsname.Parse(dc.Name)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		years := dc.Period
+		if years <= 0 {
+			years = 1
+		}
+		if err := s.reg.RegisterDomain(client, name, now, now.AddYears(years)); err != nil {
+			return fail(err)
+		}
+		if dc.AuthInfo != "" {
+			if err := repo.SetAuthInfo(client, name, dc.AuthInfo); err != nil {
+				return fail(err)
+			}
+		}
+		if len(dc.NS) > 0 {
+			hosts, err := parseNames(dc.NS)
+			if err != nil {
+				return 2005, err.Error(), nil
+			}
+			if err := s.reg.SetNS(client, name, now, hosts...); err != nil {
+				return fail(err)
+			}
+		}
+		return ok(nil)
+
+	case cmd.Create != nil && cmd.Create.Host != nil:
+		hc := cmd.Create.Host
+		name, err := dnsname.Parse(hc.Name)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		addrs := make([]netip.Addr, 0, len(hc.Addrs))
+		for _, raw := range hc.Addrs {
+			a, err := netip.ParseAddr(strings.TrimSpace(raw))
+			if err != nil {
+				return 2005, err.Error(), nil
+			}
+			addrs = append(addrs, a)
+		}
+		if err := s.reg.CreateHost(client, name, now, addrs...); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case cmd.Delete != nil && cmd.Delete.Domain != "":
+		name, err := dnsname.Parse(cmd.Delete.Domain)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		if err := s.reg.DeleteDomain(client, name, now); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case cmd.Delete != nil && cmd.Delete.Host != "":
+		name, err := dnsname.Parse(cmd.Delete.Host)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		if err := s.reg.DeleteHost(client, name, now); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case cmd.Renew != nil:
+		name, err := dnsname.Parse(cmd.Renew.Domain)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		d, err := repo.DomainInfo(name)
+		if err != nil {
+			return fail(err)
+		}
+		years := cmd.Renew.Years
+		if years <= 0 {
+			years = 1
+		}
+		if err := s.reg.RenewDomain(client, name, d.Expiry.AddYears(years)); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case cmd.Update != nil && cmd.Update.Host != nil:
+		hu := cmd.Update.Host
+		oldName, err := dnsname.Parse(hu.Name)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		newName, err := dnsname.Parse(hu.NewName)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		if err := s.reg.RenameHost(client, oldName, newName, now); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case cmd.Transfer != nil:
+		name, err := dnsname.Parse(cmd.Transfer.Domain)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		switch cmd.Transfer.Op {
+		case "request":
+			if err := repo.RequestTransfer(client, name, cmd.Transfer.AuthInfo, now); err != nil {
+				return fail(err)
+			}
+			return 1001, "Command completed successfully; action pending", nil
+		case "approve":
+			if err := repo.ApproveTransfer(client, name, now); err != nil {
+				return fail(err)
+			}
+			return ok(nil)
+		case "reject":
+			if err := repo.RejectTransfer(client, name, now); err != nil {
+				return fail(err)
+			}
+			return ok(nil)
+		case "query":
+			state, to := repo.TransferStatus(name)
+			if state == epp.TransferPending {
+				return 1000, fmt.Sprintf("pending transfer to %s", to), nil
+			}
+			return 1000, "no transfer pending", nil
+		default:
+			return 2005, fmt.Sprintf("unknown transfer op %q", cmd.Transfer.Op), nil
+		}
+
+	case cmd.Poll != nil:
+		switch cmd.Poll.Op {
+		case "ack":
+			id := 0
+			if _, err := fmt.Sscanf(cmd.Poll.MsgID, "%d", &id); err != nil {
+				return 2005, "malformed msgID", nil
+			}
+			if err := repo.PollAck(client, id); err != nil {
+				return fail(err)
+			}
+			return ok(nil)
+		default:
+			return 2005, fmt.Sprintf("unknown poll op %q", cmd.Poll.Op), nil
+		}
+
+	case cmd.Update != nil && cmd.Update.Domain != nil:
+		du := cmd.Update.Domain
+		name, err := dnsname.Parse(du.Name)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		hosts, err := parseNames(du.NS)
+		if err != nil {
+			return 2005, err.Error(), nil
+		}
+		if err := s.reg.SetNS(client, name, now, hosts...); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	}
+	return 2101, "unimplemented command", nil
+}
+
+func parseNames(raw []string) ([]dnsname.Name, error) {
+	out := make([]dnsname.Name, 0, len(raw))
+	for _, r := range raw {
+		n, err := dnsname.Parse(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,267 @@
+// Integration tests driving the EPP server through the typed client over
+// real TCP connections.
+package eppserver
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/eppclient"
+	"repro/internal/eppwire"
+	"repro/internal/registry"
+)
+
+// startServer returns a running server and its address.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	reg := registry.New("Verisign", nil, "com", "net", "edu", "gov")
+	srv := New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2019, 7, 1) }
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr, id string) *eppclient.Client {
+	t.Helper()
+	c, err := eppclient.Dial(addr, id, "pw")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestGreetingAndLogin(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr, "godaddy")
+	if c.Greeting().ServerID != "Verisign" {
+		t.Errorf("greeting = %+v", c.Greeting())
+	}
+}
+
+func TestLoginRequired(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := eppwire.Receive(conn); err != nil { // greeting
+		t.Fatal(err)
+	}
+	// Command before login.
+	if err := eppwire.Send(conn, &eppwire.EPP{Command: &eppwire.Command{
+		Check: &eppwire.Check{Domains: []string{"a.com"}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eppwire.Receive(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Response.Result.Code != 2002 {
+		t.Fatalf("pre-login command code = %d", resp.Response.Result.Code)
+	}
+}
+
+func TestCheckCreateInfo(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr, "godaddy")
+	avail, err := c.CheckDomains("foo.com")
+	if err != nil || !avail["foo.com"] {
+		t.Fatalf("check before create: %v %v", avail, err)
+	}
+	if err := c.CreateDomain("foo.com", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateHost("ns1.foo.com", "192.0.2.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNS("foo.com", "ns1.foo.com"); err != nil {
+		t.Fatal(err)
+	}
+	avail, err = c.CheckDomains("foo.com")
+	if err != nil || avail["foo.com"] {
+		t.Fatalf("check after create: %v %v", avail, err)
+	}
+	info, err := c.DomainInfo("foo.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sponsor != "godaddy" || !reflect.DeepEqual(info.NS, []string{"ns1.foo.com"}) {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Created != "2019-07-01" || info.Expiry != "2021-07-01" {
+		t.Fatalf("dates = %s..%s", info.Created, info.Expiry)
+	}
+	hi, err := c.HostInfo("ns1.foo.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Superordinate == "" || len(hi.Addrs) != 1 || len(hi.LinkedDomains) != 1 {
+		t.Fatalf("host info = %+v", hi)
+	}
+}
+
+func TestFigure1OverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr, "registrar-a")
+	b := dial(t, addr, "registrar-b")
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.CreateDomain("foo.com", 1))
+	must(a.CreateHost("ns1.foo.com", "198.51.100.1"))
+	must(a.CreateHost("ns2.foo.com", "198.51.100.2"))
+	must(a.SetNS("foo.com", "ns1.foo.com", "ns2.foo.com"))
+	must(b.CreateDomain("bar.com", 1, "ns2.foo.com"))
+
+	// Constraint: domain delete blocked (2305).
+	if err := a.DeleteDomain("foo.com"); !eppclient.IsCode(err, 2305) {
+		t.Fatalf("delete foo.com: %v", err)
+	}
+	// Constraint: host delete blocked (2305).
+	if err := a.DeleteHost("ns2.foo.com"); !eppclient.IsCode(err, 2305) {
+		t.Fatalf("delete ns2: %v", err)
+	}
+	// Isolation: A cannot touch B's domain (2201).
+	if err := a.SetNS("bar.com", "ns1.foo.com"); !eppclient.IsCode(err, 2201) {
+		t.Fatalf("cross-registrar update: %v", err)
+	}
+	// The workaround.
+	must(a.RenameHost("ns2.foo.com", "ns2.fooxxxx.biz"))
+	must(a.SetNS("foo.com"))
+	must(a.DeleteHost("ns1.foo.com"))
+	must(a.DeleteDomain("foo.com"))
+
+	info, err := b.DomainInfo("bar.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(info.NS, []string{"ns2.fooxxxx.biz"}) {
+		t.Fatalf("bar.com NS after rename = %v", info.NS)
+	}
+	// External host cannot be renamed back (2304).
+	if err := a.RenameHost("ns2.fooxxxx.biz", "ns2.home.com"); !eppclient.IsCode(err, 2304) {
+		t.Fatalf("rename external: %v", err)
+	}
+}
+
+func TestRenew(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr, "enom")
+	if err := c.CreateDomain("r.com", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenewDomain("r.com", 2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.DomainInfo("r.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Expiry != "2022-07-01" {
+		t.Fatalf("expiry = %s", info.Expiry)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr, "x")
+	if err := c.CreateDomain("-bad-.com", 1); !eppclient.IsCode(err, 2005) {
+		t.Fatalf("bad name: %v", err)
+	}
+	if err := c.CreateHost("ns1.a.com", "not-an-ip"); !eppclient.IsCode(err, 2005) {
+		t.Fatalf("bad addr: %v", err)
+	}
+	if _, err := c.DomainInfo("ghost.com"); !eppclient.IsCode(err, 2303) {
+		t.Fatalf("missing domain: %v", err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	_, addr := startServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			c, err := eppclient.Dial(addr, "rr", "pw")
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			name := string(rune('a'+i)) + "conc.com"
+			if err := c.CreateDomain(name, 1); err != nil {
+				done <- err
+				return
+			}
+			_, err = c.DomainInfo(name)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTransferWorkflowOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	losing := dial(t, addr, "losing")
+	gaining := dial(t, addr, "gaining")
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Registration with authInfo carried over the wire.
+	must(losing.CreateDomainWithAuth("moving2.com", 1, "s3cret"))
+	if err := gaining.RequestTransfer("moving2.com", "wrong"); !eppclient.IsCode(err, 2201) {
+		t.Fatalf("wrong authInfo: %v", err)
+	}
+	must(gaining.RequestTransfer("moving2.com", "s3cret"))
+
+	msgText, err := losing.QueryTransfer("moving2.com")
+	must(err)
+	if !strings.Contains(msgText, "pending") {
+		t.Fatalf("query = %q", msgText)
+	}
+	// The losing registrar sees a poll message.
+	mq, err := losing.Poll()
+	must(err)
+	if mq == nil || !strings.Contains(mq.Msg, "Transfer of moving2.com requested") {
+		t.Fatalf("poll = %+v", mq)
+	}
+	must(losing.PollAck(mq.ID))
+	// Approve and verify sponsorship moved.
+	must(losing.ApproveTransfer("moving2.com"))
+	info, err := gaining.DomainInfo("moving2.com")
+	must(err)
+	if info.Sponsor != "gaining" {
+		t.Fatalf("sponsor = %s", info.Sponsor)
+	}
+	// Queue drains to empty.
+	for {
+		mq, err := gaining.Poll()
+		must(err)
+		if mq == nil {
+			break
+		}
+		must(gaining.PollAck(mq.ID))
+	}
+}

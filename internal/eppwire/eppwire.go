@@ -1,0 +1,305 @@
+// Package eppwire implements a compact EPP protocol codec: the
+// length-prefixed framing of RFC 5734 and an XML vocabulary following
+// the shapes of RFC 5730 (protocol), RFC 5731 (domain mapping), and
+// RFC 5732 (host mapping).
+//
+// The schema is a faithful subset: greeting, login/logout, check, info,
+// create, delete, renew, and update for domain and host objects —
+// including <host:chg><host:name>, the rename operation at the heart of
+// the sacrificial-nameserver mechanism. Namespace URIs are simplified to
+// single identifiers; element names and nesting match the RFCs closely
+// enough that transcripts read like real EPP sessions.
+package eppwire
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds accepted frame sizes (RFC 5734 leaves this to server
+// policy).
+const MaxFrame = 1 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("eppwire: frame exceeds maximum size")
+	ErrShortFrame    = errors.New("eppwire: frame shorter than header")
+)
+
+// WriteFrame writes one EPP data unit: a 4-octet big-endian total length
+// (including the header itself) followed by the payload (RFC 5734 §4).
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	total := uint32(len(payload) + 4)
+	binary.BigEndian.PutUint32(hdr[:], total)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one EPP data unit.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 4 {
+		return nil, ErrShortFrame
+	}
+	if total > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, total-4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EPP is the top-level protocol element: exactly one of Greeting,
+// Command, or Response is set.
+type EPP struct {
+	XMLName  xml.Name  `xml:"epp"`
+	Greeting *Greeting `xml:"greeting,omitempty"`
+	Command  *Command  `xml:"command,omitempty"`
+	Response *Response `xml:"response,omitempty"`
+}
+
+// Greeting is the server hello (RFC 5730 §2.4).
+type Greeting struct {
+	ServerID   string   `xml:"svID"`
+	ServerDate string   `xml:"svDate"`
+	Services   []string `xml:"svcMenu>objURI"`
+}
+
+// Command wraps one client command (RFC 5730 §2.5). Exactly one verb is
+// set.
+type Command struct {
+	Login    *Login    `xml:"login,omitempty"`
+	Logout   *Logout   `xml:"logout,omitempty"`
+	Check    *Check    `xml:"check,omitempty"`
+	Info     *Info     `xml:"info,omitempty"`
+	Create   *Create   `xml:"create,omitempty"`
+	Delete   *Delete   `xml:"delete,omitempty"`
+	Renew    *Renew    `xml:"renew,omitempty"`
+	Update   *Update   `xml:"update,omitempty"`
+	Transfer *Transfer `xml:"transfer,omitempty"`
+	Poll     *Poll     `xml:"poll,omitempty"`
+	// ClTRID is the client transaction identifier, echoed in responses.
+	ClTRID string `xml:"clTRID,omitempty"`
+}
+
+// Transfer requests, approves, rejects, or queries a domain transfer
+// (RFC 5730 §2.9.3.4). AuthInfo authorizes "request".
+type Transfer struct {
+	Op       string `xml:"op,attr"`
+	Domain   string `xml:"domain>name"`
+	AuthInfo string `xml:"domain>authInfo,omitempty"`
+}
+
+// Poll requests ("req") or acknowledges ("ack") service messages
+// (RFC 5730 §2.9.2.3).
+type Poll struct {
+	Op    string `xml:"op,attr"`
+	MsgID string `xml:"msgID,attr,omitempty"`
+}
+
+// Login authenticates a registrar session.
+type Login struct {
+	ClientID string `xml:"clID"`
+	Password string `xml:"pw"`
+}
+
+// Logout ends the session.
+type Logout struct{}
+
+// Check asks about object availability (domain names only; host checks
+// are not needed by the tooling).
+type Check struct {
+	Domains []string `xml:"domain>name,omitempty"`
+	Hosts   []string `xml:"host>name,omitempty"`
+}
+
+// Info requests object details.
+type Info struct {
+	Domain string `xml:"domain>name,omitempty"`
+	Host   string `xml:"host>name,omitempty"`
+}
+
+// Create provisions a domain or host object.
+type Create struct {
+	Domain *DomainCreate `xml:"domain,omitempty"`
+	Host   *HostCreate   `xml:"host,omitempty"`
+}
+
+// DomainCreate mirrors RFC 5731 <domain:create>.
+type DomainCreate struct {
+	Name     string   `xml:"name"`
+	Period   int      `xml:"period,omitempty"` // years
+	NS       []string `xml:"ns>hostObj,omitempty"`
+	AuthInfo string   `xml:"authInfo>pw,omitempty"`
+}
+
+// HostCreate mirrors RFC 5732 <host:create>.
+type HostCreate struct {
+	Name  string   `xml:"name"`
+	Addrs []string `xml:"addr,omitempty"`
+}
+
+// Delete removes a domain or host object.
+type Delete struct {
+	Domain string `xml:"domain>name,omitempty"`
+	Host   string `xml:"host>name,omitempty"`
+}
+
+// Renew extends a domain registration.
+type Renew struct {
+	Domain string `xml:"domain>name"`
+	Years  int    `xml:"period"`
+}
+
+// Update modifies a domain's delegation or renames a host.
+type Update struct {
+	Domain *DomainUpdate `xml:"domain,omitempty"`
+	Host   *HostUpdate   `xml:"host,omitempty"`
+}
+
+// DomainUpdate replaces the delegation of a domain (a simplification of
+// RFC 5731's add/rem/chg structure sufficient for the tooling).
+type DomainUpdate struct {
+	Name string   `xml:"name"`
+	NS   []string `xml:"chg>ns>hostObj"`
+}
+
+// HostUpdate renames a host object: RFC 5732 <host:update> with
+// <host:chg><host:name>.
+type HostUpdate struct {
+	Name    string `xml:"name"`
+	NewName string `xml:"chg>name"`
+}
+
+// Response is the server reply (RFC 5730 §2.6).
+type Response struct {
+	Result   Result    `xml:"result"`
+	MsgQueue *MsgQueue `xml:"msgQ,omitempty"`
+	ResData  *ResData  `xml:"resData,omitempty"`
+	ClTRID   string    `xml:"trID>clTRID,omitempty"`
+	SvTRID   string    `xml:"trID>svTRID,omitempty"`
+}
+
+// MsgQueue carries one queued service message (RFC 5730 §2.9.2.3).
+type MsgQueue struct {
+	Count int    `xml:"count,attr"`
+	ID    string `xml:"id,attr"`
+	Date  string `xml:"qDate"`
+	Msg   string `xml:"msg"`
+}
+
+// Result carries the EPP result code and message.
+type Result struct {
+	Code int    `xml:"code,attr"`
+	Msg  string `xml:"msg"`
+}
+
+// ResData carries object data in responses.
+type ResData struct {
+	DomainInfo  *DomainInfoData `xml:"domainInfo,omitempty"`
+	HostInfo    *HostInfoData   `xml:"hostInfo,omitempty"`
+	CheckResult []CheckItem     `xml:"chkData,omitempty"`
+}
+
+// DomainInfoData mirrors RFC 5731 <domain:infData>.
+type DomainInfoData struct {
+	Name    string   `xml:"name"`
+	ROID    string   `xml:"roid"`
+	Sponsor string   `xml:"clID"`
+	NS      []string `xml:"ns>hostObj,omitempty"`
+	Created string   `xml:"crDate"`
+	Expiry  string   `xml:"exDate"`
+}
+
+// HostInfoData mirrors RFC 5732 <host:infData>.
+type HostInfoData struct {
+	Name          string   `xml:"name"`
+	ROID          string   `xml:"roid"`
+	Sponsor       string   `xml:"clID"`
+	Superordinate string   `xml:"superordinate,omitempty"`
+	Addrs         []string `xml:"addr,omitempty"`
+	LinkedDomains []string `xml:"linked,omitempty"`
+}
+
+// CheckItem is one availability answer.
+type CheckItem struct {
+	Name      string `xml:"name"`
+	Available bool   `xml:"avail,attr"`
+}
+
+// Marshal encodes an EPP element with the standard XML header.
+func Marshal(e *EPP) ([]byte, error) {
+	body, err := xml.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// Unmarshal decodes an EPP element.
+func Unmarshal(data []byte) (*EPP, error) {
+	var e EPP
+	if err := xml.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("eppwire: %w", err)
+	}
+	return &e, nil
+}
+
+// Send marshals and frames an EPP element onto w.
+func Send(w io.Writer, e *EPP) error {
+	data, err := Marshal(e)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, data)
+}
+
+// Receive reads and decodes one framed EPP element from r.
+func Receive(r io.Reader) (*EPP, error) {
+	data, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// Verb returns a short name for the command's verb, for logging.
+func (c *Command) Verb() string {
+	switch {
+	case c.Login != nil:
+		return "login"
+	case c.Logout != nil:
+		return "logout"
+	case c.Check != nil:
+		return "check"
+	case c.Info != nil:
+		return "info"
+	case c.Create != nil:
+		return "create"
+	case c.Delete != nil:
+		return "delete"
+	case c.Renew != nil:
+		return "renew"
+	case c.Update != nil:
+		return "update"
+	case c.Transfer != nil:
+		return "transfer-" + c.Transfer.Op
+	case c.Poll != nil:
+		return "poll-" + c.Poll.Op
+	default:
+		return "unknown"
+	}
+}

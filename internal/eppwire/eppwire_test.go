@@ -1,0 +1,202 @@
+package eppwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("<epp/>")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(payload)+4 {
+		t.Fatalf("frame length %d", buf.Len())
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %q, %v", got, err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+5)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Errorf("oversize frame: %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 2)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrShortFrame {
+		t.Errorf("undersize frame: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func roundTrip(t *testing.T, in *EPP) *EPP {
+	t.Helper()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	return out
+}
+
+func TestGreetingRoundTrip(t *testing.T) {
+	in := &EPP{Greeting: &Greeting{ServerID: "Verisign", ServerDate: "2020-09-15",
+		Services: []string{"urn:epp:domain", "urn:epp:host"}}}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in.Greeting, out.Greeting) {
+		t.Fatalf("greeting mismatch: %+v vs %+v", in.Greeting, out.Greeting)
+	}
+}
+
+func TestCommandRoundTrips(t *testing.T) {
+	cases := []*Command{
+		{Login: &Login{ClientID: "godaddy", Password: "pw"}},
+		{Logout: &Logout{}},
+		{Check: &Check{Domains: []string{"a.com", "b.com"}, Hosts: []string{"ns1.a.com"}}},
+		{Info: &Info{Domain: "a.com"}},
+		{Info: &Info{Host: "ns1.a.com"}},
+		{Create: &Create{Domain: &DomainCreate{Name: "a.com", Period: 2, NS: []string{"ns1.x.net", "ns2.x.net"}}}},
+		{Create: &Create{Host: &HostCreate{Name: "ns1.a.com", Addrs: []string{"192.0.2.1", "2001:db8::1"}}}},
+		{Delete: &Delete{Domain: "a.com"}},
+		{Delete: &Delete{Host: "ns1.a.com"}},
+		{Renew: &Renew{Domain: "a.com", Years: 1}},
+		{Update: &Update{Host: &HostUpdate{Name: "ns2.foo.com", NewName: "ns2.fooxxxx.biz"}}},
+		{Update: &Update{Domain: &DomainUpdate{Name: "a.com", NS: []string{"ns1.y.net"}}}},
+	}
+	for i, cmd := range cases {
+		cmd.ClTRID = "T1"
+		out := roundTrip(t, &EPP{Command: cmd})
+		if out.Command == nil {
+			t.Fatalf("case %d: command lost", i)
+		}
+		if !reflect.DeepEqual(cmd, out.Command) {
+			t.Errorf("case %d (%s): mismatch\n got %#v\nwant %#v", i, cmd.Verb(), out.Command, cmd)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := &EPP{Response: &Response{
+		Result: Result{Code: 2305, Msg: "Object association prohibits operation"},
+		ResData: &ResData{
+			HostInfo: &HostInfoData{
+				Name: "ns2.foo.com", ROID: "H2-Verisign", Sponsor: "A",
+				Superordinate: "D1-Verisign", Addrs: []string{"192.0.2.1"},
+				LinkedDomains: []string{"bar.com"},
+			},
+		},
+		ClTRID: "C1", SvTRID: "S1",
+	}}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in.Response, out.Response) {
+		t.Fatalf("response mismatch:\n got %#v\nwant %#v", out.Response, in.Response)
+	}
+}
+
+func TestCheckItemAttr(t *testing.T) {
+	in := &EPP{Response: &Response{
+		Result:  Result{Code: 1000, Msg: "ok"},
+		ResData: &ResData{CheckResult: []CheckItem{{Name: "a.com", Available: true}, {Name: "b.com"}}},
+	}}
+	data, _ := Marshal(in)
+	if !strings.Contains(string(data), `avail="true"`) {
+		t.Fatalf("avail attr missing:\n%s", data)
+	}
+	out := roundTrip(t, in)
+	got := out.Response.ResData.CheckResult
+	if len(got) != 2 || !got[0].Available || got[1].Available {
+		t.Fatalf("check items = %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml at all <<<")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestVerb(t *testing.T) {
+	if (&Command{Login: &Login{}}).Verb() != "login" ||
+		(&Command{Update: &Update{}}).Verb() != "update" ||
+		(&Command{}).Verb() != "unknown" {
+		t.Error("Verb broken")
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	var buf bytes.Buffer
+	in := &EPP{Command: &Command{Check: &Check{Domains: []string{"x.com"}}, ClTRID: "T9"}}
+	if err := Send(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Receive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Command == nil || out.Command.ClTRID != "T9" {
+		t.Fatalf("Receive = %+v", out)
+	}
+}
+
+func TestTransferAndPollRoundTrips(t *testing.T) {
+	cases := []*Command{
+		{Transfer: &Transfer{Op: "request", Domain: "moving.com", AuthInfo: "s3cret"}},
+		{Transfer: &Transfer{Op: "approve", Domain: "moving.com"}},
+		{Transfer: &Transfer{Op: "reject", Domain: "moving.com"}},
+		{Transfer: &Transfer{Op: "query", Domain: "moving.com"}},
+		{Poll: &Poll{Op: "req"}},
+		{Poll: &Poll{Op: "ack", MsgID: "42"}},
+		{Create: &Create{Domain: &DomainCreate{Name: "a.com", Period: 1, AuthInfo: "pw1"}}},
+	}
+	for i, cmd := range cases {
+		cmd.ClTRID = "T2"
+		out := roundTrip(t, &EPP{Command: cmd})
+		if !reflect.DeepEqual(cmd, out.Command) {
+			t.Errorf("case %d (%s): mismatch\n got %#v\nwant %#v", i, cmd.Verb(), out.Command, cmd)
+		}
+	}
+	if (&Command{Transfer: &Transfer{Op: "request"}}).Verb() != "transfer-request" {
+		t.Error("transfer verb broken")
+	}
+	if (&Command{Poll: &Poll{Op: "ack"}}).Verb() != "poll-ack" {
+		t.Error("poll verb broken")
+	}
+}
+
+func TestMsgQueueRoundTrip(t *testing.T) {
+	in := &EPP{Response: &Response{
+		Result:   Result{Code: 1301, Msg: "ack to dequeue"},
+		MsgQueue: &MsgQueue{Count: 3, ID: "17", Date: "2020-10-01", Msg: "Transfer of x.com requested"},
+		ClTRID:   "C2", SvTRID: "S2",
+	}}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in.Response, out.Response) {
+		t.Fatalf("msgQ mismatch:\n got %#v\nwant %#v", out.Response, in.Response)
+	}
+}

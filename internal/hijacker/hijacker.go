@@ -1,0 +1,225 @@
+// Package hijacker models the parties that register sacrificial
+// nameserver domains to capture the traffic of domains delegating to
+// them (paper §5-§6).
+//
+// The behavioural parameters encode what the paper measures rather than
+// assumes: hijackers are SELECTIVE (they register a small fraction of
+// sacrificial nameservers but capture a third of the exposed domains by
+// preferring high-degree names, §5.1/§5.3), FAST (half the eventually
+// hijacked domains are captured within days of exposure, §5.4, via short
+// scan cadences), and ROI-SENSITIVE (registrations lapse after one or two
+// years when the captured traffic is not worth renewal fees, §5.5).
+package hijacker
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+)
+
+// Opportunity is a registrable sacrificial nameserver domain as a scanner
+// sees it: the domain, how many delegated domains it would capture, and
+// when the exposure appeared.
+type Opportunity struct {
+	Domain  dnsname.Name // registrable domain of the sacrificial NS
+	Degree  int          // distinct domains currently delegating to it
+	Created dates.Day
+}
+
+// Actor is one hijacker group.
+type Actor struct {
+	// Name labels the group by its controlling nameserver domain, as the
+	// paper attributes bulk hijackers (Table 4).
+	Name string
+	// InfraNS are the nameserver names the actor installs for domains it
+	// registers; their registered domain is the attribution key.
+	InfraNS []dnsname.Name
+	// Registrar is the EPP account the actor registers through.
+	Registrar epp.RegistrarID
+
+	// ScanEvery is the actor's scan cadence in days: new opportunities
+	// are evaluated at the first scan after they appear.
+	ScanEvery int
+	// NoticeAfter is the minimum age (days) an opportunity must reach
+	// before the actor's scans consider it — zone-file collection,
+	// triage, and registration all take time.
+	NoticeAfter int
+	// SweepEvery is the cadence of deep sweeps that re-evaluate old,
+	// still-unregistered opportunities (the long tail of Figure 6).
+	// Zero disables sweeps.
+	SweepEvery int
+	// SweepChance is the per-opportunity probability during a sweep.
+	SweepChance float64
+
+	// Aggressiveness scales registration probability (0..1].
+	Aggressiveness float64
+	// DegreeK is the degree at which desire reaches roughly a quarter of
+	// Aggressiveness; see Wants.
+	DegreeK float64
+	// MinDegree discards opportunities below this degree outright.
+	MinDegree int
+
+	// RenewProb[i] is the probability of renewing a registration at the
+	// end of year i+1. Beyond the slice the last value applies.
+	RenewProb []float64
+
+	seen map[dnsname.Name]bool
+}
+
+// ScansOn reports whether the actor runs its regular scan on day.
+func (a *Actor) ScansOn(day dates.Day) bool {
+	if a.ScanEvery <= 0 {
+		return false
+	}
+	return int(day)%a.ScanEvery == a.phase()
+}
+
+// SweepsOn reports whether the actor runs a deep sweep on day.
+func (a *Actor) SweepsOn(day dates.Day) bool {
+	if a.SweepEvery <= 0 {
+		return false
+	}
+	return int(day)%a.SweepEvery == a.phase()%a.SweepEvery
+}
+
+// phase staggers actors so they do not all scan on the same days.
+func (a *Actor) phase() int {
+	h := 0
+	for _, c := range a.Name {
+		h = h*31 + int(c)
+	}
+	if a.ScanEvery <= 0 {
+		return 0
+	}
+	return ((h % a.ScanEvery) + a.ScanEvery) % a.ScanEvery
+}
+
+// Wants decides whether the actor registers the opportunity when first
+// evaluating it. The probability grows with degree as
+//
+//	p = Aggressiveness * (d / (d + DegreeK))^2
+//
+// which stays negligible for single-domain names (the bulk of sacrificial
+// nameservers) and saturates for the high-value names — reproducing the
+// paper's 5%-of-nameservers / 32%-of-domains asymmetry.
+func (a *Actor) Wants(op Opportunity, rng *rand.Rand) bool {
+	if op.Degree < a.MinDegree {
+		return false
+	}
+	d := float64(op.Degree)
+	frac := d / (d + a.DegreeK)
+	p := a.Aggressiveness * frac * frac
+	return rng.Float64() < p
+}
+
+// MarkSeen records that the actor has evaluated the opportunity, so
+// regular scans do not retry it (deep sweeps may).
+func (a *Actor) MarkSeen(domain dnsname.Name) {
+	if a.seen == nil {
+		a.seen = make(map[dnsname.Name]bool)
+	}
+	a.seen[domain] = true
+}
+
+// Seen reports whether the actor has already evaluated the opportunity.
+func (a *Actor) Seen(domain dnsname.Name) bool { return a.seen[domain] }
+
+// Renews decides whether the actor renews a registration at the end of
+// yearsHeld years.
+func (a *Actor) Renews(yearsHeld int, rng *rand.Rand) bool {
+	if len(a.RenewProb) == 0 {
+		return false
+	}
+	i := yearsHeld - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(a.RenewProb) {
+		i = len(a.RenewProb) - 1
+	}
+	return rng.Float64() < a.RenewProb[i]
+}
+
+// CombinedCatchProbability returns the probability that at least one of
+// the actors registers an opportunity of the given degree on first
+// evaluation. Used by calibration tests, not by the simulation itself.
+func CombinedCatchProbability(actors []*Actor, degree int) float64 {
+	miss := 1.0
+	for _, a := range actors {
+		if degree < a.MinDegree {
+			continue
+		}
+		d := float64(degree)
+		frac := d / (d + a.DegreeK)
+		miss *= 1 - a.Aggressiveness*frac*frac
+	}
+	return 1 - miss
+}
+
+// DefaultActors returns the five bulk-hijacker groups of Table 4 with
+// behaviour calibrated to the paper's aggregate findings. The relative
+// capture volumes (mpower.nl > protectdelegation > yandex.net >
+// phonesear.ch ~ dnspanel.com) emerge from cadence and aggressiveness.
+func DefaultActors() []*Actor {
+	return []*Actor{
+		{
+			Name:      "mpower.nl",
+			InfraNS:   []dnsname.Name{"ns1.mpower.nl", "ns2.mpower.nl"},
+			Registrar: "openprovider",
+			ScanEvery: 2, NoticeAfter: 3, SweepEvery: 90, SweepChance: 0.008,
+			Aggressiveness: 0.65, DegreeK: 10, MinDegree: 1,
+			RenewProb: []float64{0.45, 0.22, 0.10},
+		},
+		{
+			Name:      "protectdelegation",
+			InfraNS:   []dnsname.Name{"a.protectdelegation.ca", "b.protectdelegation.eu", "c.protectdelegation.com"},
+			Registrar: "tucows",
+			ScanEvery: 4, NoticeAfter: 5, SweepEvery: 120, SweepChance: 0.006,
+			Aggressiveness: 0.50, DegreeK: 12, MinDegree: 1,
+			RenewProb: []float64{0.40, 0.20, 0.10},
+		},
+		{
+			Name:      "yandex.net",
+			InfraNS:   []dnsname.Name{"dns1.yandex.net", "dns2.yandex.net"},
+			Registrar: "regru",
+			ScanEvery: 7, NoticeAfter: 7, SweepEvery: 150, SweepChance: 0.008,
+			Aggressiveness: 0.42, DegreeK: 14, MinDegree: 1,
+			RenewProb: []float64{0.40, 0.20, 0.10},
+		},
+		{
+			Name:      "phonesear.ch",
+			InfraNS:   []dnsname.Name{"ns1.phonesear.ch", "ns2.phonesear.ch"},
+			Registrar: "namesilo",
+			ScanEvery: 14, NoticeAfter: 10, SweepEvery: 210, SweepChance: 0.008,
+			Aggressiveness: 0.38, DegreeK: 17, MinDegree: 2,
+			RenewProb: []float64{0.50, 0.25, 0.10},
+		},
+		{
+			Name:      "dnspanel.com",
+			InfraNS:   []dnsname.Name{"ns1.dnspanel.com", "ns2.dnspanel.com"},
+			Registrar: "namesilo",
+			ScanEvery: 21, NoticeAfter: 14, SweepEvery: 270, SweepChance: 0.006,
+			Aggressiveness: 0.35, DegreeK: 20, MinDegree: 2,
+			RenewProb: []float64{0.45, 0.20, 0.10},
+		},
+	}
+}
+
+// ExpectedValue estimates the hijack value (domain-days, §5.3) a one-year
+// registration of an opportunity with the given degree yields, assuming
+// each captured domain independently survives to the next day with
+// probability dailySurvival. Used by ablation benches comparing selective
+// and uniform strategies.
+func ExpectedValue(degree int, dailySurvival float64) float64 {
+	if dailySurvival >= 1 {
+		return float64(degree) * 365
+	}
+	if dailySurvival <= 0 {
+		return 0
+	}
+	s := dailySurvival
+	return float64(degree) * s * (1 - math.Pow(s, 365)) / (1 - s)
+}

@@ -1,0 +1,187 @@
+package hijacker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dates"
+)
+
+func TestWantsMonotonicInDegree(t *testing.T) {
+	a := &Actor{Aggressiveness: 0.8, DegreeK: 10, MinDegree: 1}
+	// Estimate acceptance rates at increasing degrees; they must be
+	// non-decreasing (within sampling noise handled by large N).
+	rate := func(degree int) float64 {
+		rng := rand.New(rand.NewSource(int64(degree)))
+		hits := 0
+		for i := 0; i < 20000; i++ {
+			if a.Wants(Opportunity{Degree: degree}, rng) {
+				hits++
+			}
+		}
+		return float64(hits) / 20000
+	}
+	prev := -1.0
+	for _, d := range []int{1, 3, 10, 30, 100} {
+		r := rate(d)
+		if r < prev-0.02 {
+			t.Fatalf("acceptance rate decreased at degree %d: %f < %f", d, r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.5 {
+		t.Errorf("high-degree acceptance too low: %f", prev)
+	}
+	if low := rate(1); low > 0.05 {
+		t.Errorf("degree-1 acceptance too high: %f", low)
+	}
+}
+
+func TestWantsMinDegree(t *testing.T) {
+	a := &Actor{Aggressiveness: 1, DegreeK: 1, MinDegree: 3}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if a.Wants(Opportunity{Degree: 2}, rng) {
+			t.Fatal("below MinDegree must never register")
+		}
+	}
+}
+
+func TestCombinedCatchProbability(t *testing.T) {
+	actors := DefaultActors()
+	low := CombinedCatchProbability(actors, 1)
+	mid := CombinedCatchProbability(actors, 10)
+	high := CombinedCatchProbability(actors, 100)
+	if !(low < mid && mid < high) {
+		t.Fatalf("not monotone: %f %f %f", low, mid, high)
+	}
+	// Calibration envelope for the paper's 5%-NS / 32%-domain split:
+	// single-domain names nearly never registered, large ones nearly
+	// always.
+	if low > 0.06 {
+		t.Errorf("degree-1 combined catch %f too high", low)
+	}
+	if high < 0.5 {
+		t.Errorf("degree-100 combined catch %f too low", high)
+	}
+	if p := CombinedCatchProbability(actors, 0); p != 0 {
+		t.Errorf("degree-0 catch = %f", p)
+	}
+}
+
+func TestRenews(t *testing.T) {
+	a := &Actor{RenewProb: []float64{1, 0}}
+	rng := rand.New(rand.NewSource(2))
+	if !a.Renews(1, rng) {
+		t.Error("year-1 renewal with p=1 failed")
+	}
+	if a.Renews(2, rng) || a.Renews(5, rng) {
+		t.Error("year-2+ renewal with p=0 succeeded")
+	}
+	empty := &Actor{}
+	if empty.Renews(1, rng) {
+		t.Error("actor with no renewal profile should never renew")
+	}
+	if a.Renews(0, rng) != true { // clamps below
+		t.Error("yearsHeld clamp broken")
+	}
+}
+
+func TestScanAndSweepCadence(t *testing.T) {
+	a := &Actor{Name: "x", ScanEvery: 5, SweepEvery: 20}
+	scans, sweeps := 0, 0
+	for d := dates.Day(0); d < 100; d++ {
+		if a.ScansOn(d) {
+			scans++
+		}
+		if a.SweepsOn(d) {
+			sweeps++
+		}
+	}
+	if scans != 20 {
+		t.Errorf("scans in 100 days = %d, want 20", scans)
+	}
+	if sweeps != 5 {
+		t.Errorf("sweeps in 100 days = %d, want 5", sweeps)
+	}
+	none := &Actor{Name: "y"}
+	if none.ScansOn(10) || none.SweepsOn(10) {
+		t.Error("zero cadence should never fire")
+	}
+}
+
+func TestActorsStaggered(t *testing.T) {
+	// Actors with the same cadence but different names should not all
+	// scan on the same days.
+	a := &Actor{Name: "alpha", ScanEvery: 7}
+	b := &Actor{Name: "bravo-different", ScanEvery: 7}
+	same := true
+	for d := dates.Day(0); d < 7; d++ {
+		if a.ScansOn(d) != b.ScansOn(d) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("actors happen to share phase; acceptable but worth knowing")
+	}
+}
+
+func TestSeenTracking(t *testing.T) {
+	a := &Actor{}
+	if a.Seen("x.biz") {
+		t.Error("fresh actor has seen nothing")
+	}
+	a.MarkSeen("x.biz")
+	if !a.Seen("x.biz") || a.Seen("y.biz") {
+		t.Error("seen tracking broken")
+	}
+}
+
+func TestDefaultActorsWellFormed(t *testing.T) {
+	actors := DefaultActors()
+	if len(actors) != 5 {
+		t.Fatalf("actor count = %d", len(actors))
+	}
+	names := map[string]bool{}
+	for _, a := range actors {
+		if names[a.Name] {
+			t.Errorf("duplicate actor %s", a.Name)
+		}
+		names[a.Name] = true
+		if len(a.InfraNS) == 0 || a.Registrar == "" || a.ScanEvery <= 0 {
+			t.Errorf("%s: incomplete configuration", a.Name)
+		}
+		if a.Aggressiveness <= 0 || a.Aggressiveness > 1 {
+			t.Errorf("%s: aggressiveness %f out of range", a.Name, a.Aggressiveness)
+		}
+	}
+	if !names["mpower.nl"] || !names["phonesear.ch"] {
+		t.Error("Table 4 actors missing")
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	if ExpectedValue(10, 1) != 3650 {
+		t.Errorf("full survival = %f", ExpectedValue(10, 1))
+	}
+	if ExpectedValue(10, 0) != 0 {
+		t.Errorf("zero survival = %f", ExpectedValue(10, 0))
+	}
+	v := ExpectedValue(10, 0.99)
+	if v <= 0 || v >= 3650 {
+		t.Errorf("partial survival = %f out of range", v)
+	}
+	// Monotone in degree.
+	f := func(d uint8) bool {
+		return ExpectedValue(int(d)+1, 0.99) >= ExpectedValue(int(d), 0.99)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly linear in degree.
+	if r := ExpectedValue(20, 0.99) / ExpectedValue(10, 0.99); math.Abs(r-2) > 1e-9 {
+		t.Errorf("linearity ratio = %f", r)
+	}
+}

@@ -1,0 +1,44 @@
+package idioms_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dnsname"
+	"repro/internal/idioms"
+)
+
+// ExampleIdiom_Rename shows the paper's worked renaming example:
+// Enom's random idiom embeds the original second-level label, which is
+// what the §3.2.3 history match later recovers.
+func ExampleIdiom_Rename() {
+	rng := rand.New(rand.NewSource(7))
+	enom := idioms.Lookup(idioms.EnomRandom)
+	sac := enom.Rename("ns2.internetemc.com", rng)
+	fmt.Println("sacrificial name ends in .biz:", sac.TLD() == "biz")
+	fmt.Println("matches its original:", idioms.MatchesOriginal(sac, "ns2.internetemc.com"))
+	fmt.Println("matches an unrelated host:", idioms.MatchesOriginal(sac, "ns1.other.net"))
+	// Output:
+	// sacrificial name ends in .biz: true
+	// matches its original: true
+	// matches an unrelated host: false
+}
+
+// ExampleRecognizeMarker classifies the GoDaddy marker idioms.
+func ExampleRecognizeMarker() {
+	for _, ns := range []string{
+		"dropthishost-0a1b2c3d.biz",
+		"pleasedropthishostq1w2e.foo.biz",
+		"ns1.innocent.com",
+	} {
+		if idiom, ok := idioms.RecognizeMarker(dnsname.Name(ns)); ok {
+			fmt.Printf("%s -> %s (%s)\n", ns, idiom.ID, idiom.Class)
+		} else {
+			fmt.Printf("%s -> no marker\n", ns)
+		}
+	}
+	// Output:
+	// dropthishost-0a1b2c3d.biz -> dropthishost (hijackable)
+	// pleasedropthishostq1w2e.foo.biz -> pleasedropthishost (hijackable)
+	// ns1.innocent.com -> no marker
+}

@@ -1,0 +1,28 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/interval"
+)
+
+// Example shows the interval algebra the longitudinal analyses are built
+// on: a domain's delegation days intersected with a hijacker's
+// registration days yield the days the domain was actually hijacked.
+func Example() {
+	delegated := interval.FromRanges(
+		dates.NewRange(dates.FromYMD(2016, 1, 1), dates.FromYMD(2016, 12, 31)),
+	)
+	registered := interval.FromRanges(
+		dates.NewRange(dates.FromYMD(2016, 3, 1), dates.FromYMD(2017, 2, 28)),
+	)
+	hijacked := delegated.Intersect(&registered)
+	fmt.Println("days delegated:", delegated.TotalDays())
+	fmt.Println("days hijacked:", hijacked.TotalDays())
+	fmt.Println("window:", hijacked.String())
+	// Output:
+	// days delegated: 366
+	// days hijacked: 306
+	// window: {[2016-03-01, 2016-12-31]}
+}

@@ -1,0 +1,38 @@
+package registry
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestCascadeDeleteEmitsAllChanges(t *testing.T) {
+	reg, rec := setup(t)
+	must(t, reg.RegisterDomain("A", "foo.com", day0, exp1))
+	must(t, reg.CreateHost("A", "ns1.foo.com", day0, addr))
+	must(t, reg.CreateHost("A", "ns2.foo.com", day0, addr))
+	must(t, reg.SetNS("A", "foo.com", day0, "ns1.foo.com", "ns2.foo.com"))
+	must(t, reg.RegisterDomain("B", "bar.com", day0, exp1))
+	must(t, reg.SetNS("B", "bar.com", day0, "ns2.foo.com"))
+	must(t, reg.RegisterDomain("cisa", "agency.gov", day0, exp1))
+	must(t, reg.SetNS("cisa", "agency.gov", day0, "ns2.foo.com"))
+	rec.events = nil
+
+	day := day0.Add(10)
+	must(t, reg.CascadeDeleteDomain("A", "foo.com", day))
+
+	got := append([]string(nil), rec.events...)
+	sort.Strings(got)
+	want := []string{
+		"dom- foo.com 2015-01-11",
+		"edge- agency.gov ns2.foo.com 2015-01-11",
+		"edge- bar.com ns2.foo.com 2015-01-11",
+		"edge- foo.com ns1.foo.com 2015-01-11",
+		"edge- foo.com ns2.foo.com 2015-01-11",
+		"glue- ns1.foo.com 2015-01-11",
+		"glue- ns2.foo.com 2015-01-11",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("events:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,221 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnsname"
+	"repro/internal/dnswire"
+)
+
+// Stub is a minimal stub resolver that queries one authoritative server
+// over UDP, falling back to TCP when the server sets the TC bit
+// (RFC 1035 §4.2.2). The controlled experiment uses it to confirm that a
+// hijacked sacrificial nameserver really answers for its delegated
+// names.
+type Stub struct {
+	// Server is the authoritative server's UDP address.
+	Server string
+	// TCPServer is the address for truncation fallback; defaults to
+	// Server. Empty string with NoTCPFallback unset still falls back to
+	// Server.
+	TCPServer string
+	// NoTCPFallback disables the TC-bit retry.
+	NoTCPFallback bool
+	// AdvertiseUDPSize, when greater than 512, adds an EDNS0 OPT record
+	// to queries advertising this UDP payload size (RFC 6891).
+	AdvertiseUDPSize uint16
+	// Timeout bounds each attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts (default 2).
+	Retries int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Errors returned by Query.
+var (
+	ErrNoResponse = errors.New("resolve: no response from server")
+	ErrMismatch   = errors.New("resolve: response does not match query")
+)
+
+// NXDomainError reports an authoritative NXDOMAIN.
+type NXDomainError struct{ Name dnsname.Name }
+
+func (e *NXDomainError) Error() string {
+	return fmt.Sprintf("resolve: %s: NXDOMAIN", e.Name)
+}
+
+func (s *Stub) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (s *Stub) retries() int {
+	if s.Retries > 0 {
+		return s.Retries
+	}
+	return 2
+}
+
+func (s *Stub) newID() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(s.rng.Intn(1 << 16))
+}
+
+// Query sends one question and returns the decoded response message.
+func (s *Stub) Query(ctx context.Context, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	query := &dnswire.Message{
+		Header: dnswire.Header{ID: s.newID(), RecursionDesired: false},
+		Questions: []dnswire.Question{
+			{Name: name, Type: qtype, Class: dnswire.ClassIN},
+		},
+	}
+	if s.AdvertiseUDPSize > 512 {
+		query.AddOPT(s.AdvertiseUDPSize)
+	}
+	wire, err := dnswire.Encode(query)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error = ErrNoResponse
+	for attempt := 0; attempt <= s.retries(); attempt++ {
+		resp, err := s.exchange(ctx, wire, query.Header.ID, name, qtype)
+		if err == nil {
+			if resp.Header.Truncated && !s.NoTCPFallback {
+				return s.exchangeTCP(ctx, wire, query.Header.ID, name, qtype)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Timeouts retry; anything structural does not.
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			if !errors.Is(err, ErrNoResponse) {
+				return nil, err
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+func (s *Stub) exchange(ctx context.Context, wire []byte, id uint16, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: s.timeout()}
+	conn, err := d.DialContext(ctx, "udp", s.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(s.timeout())
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096+64)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if resp.Header.ID != id || !resp.Header.Response {
+			continue // not ours
+		}
+		if len(resp.Questions) != 1 || resp.Questions[0].Name != name || resp.Questions[0].Type != qtype {
+			return nil, ErrMismatch
+		}
+		return resp, nil
+	}
+}
+
+// exchangeTCP retries the query over TCP with RFC 1035 length framing.
+func (s *Stub) exchangeTCP(ctx context.Context, wire []byte, id uint16, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	addr := s.TCPServer
+	if addr == "" {
+		addr = s.Server
+	}
+	d := net.Dialer{Timeout: s.timeout()}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(s.timeout())
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(wire))
+	framed[0], framed[1] = byte(len(wire)>>8), byte(len(wire))
+	copy(framed[2:], wire)
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, int(hdr[0])<<8|int(hdr[1]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id || !resp.Header.Response {
+		return nil, ErrMismatch
+	}
+	if len(resp.Questions) != 1 || resp.Questions[0].Name != name || resp.Questions[0].Type != qtype {
+		return nil, ErrMismatch
+	}
+	return resp, nil
+}
+
+// LookupA resolves A records for name, returning the addresses as
+// strings. An authoritative NXDOMAIN yields NXDomainError.
+func (s *Stub) LookupA(ctx context.Context, name dnsname.Name) ([]string, error) {
+	resp, err := s.Query(ctx, name, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.RCode == dnswire.RCodeNXDomain {
+		return nil, &NXDomainError{Name: name}
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError {
+		return nil, fmt.Errorf("resolve: %s: %v", name, resp.Header.RCode)
+	}
+	var out []string
+	for _, r := range resp.Answers {
+		if r.Type == dnswire.TypeA && r.Name == name {
+			out = append(out, r.Addr.String())
+		}
+	}
+	return out, nil
+}

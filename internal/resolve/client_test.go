@@ -1,0 +1,110 @@
+package resolve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dnsname"
+	"repro/internal/dnswire"
+)
+
+// fakeAuth runs a hand-rolled UDP responder so the stub's defenses can
+// be exercised with hostile responses.
+func fakeAuth(t *testing.T, respond func(query *dnswire.Message) [][]byte) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			for _, resp := range respond(q) {
+				_, _ = pc.WriteTo(resp, from)
+			}
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+func answer(q *dnswire.Message, id uint16) []byte {
+	m := &dnswire.Message{
+		Header:    dnswire.Header{ID: id, Response: true, Authoritative: true},
+		Questions: q.Questions,
+	}
+	wire, _ := dnswire.Encode(m)
+	return wire
+}
+
+func TestStubIgnoresWrongID(t *testing.T) {
+	addr := fakeAuth(t, func(q *dnswire.Message) [][]byte {
+		// First a spoofed answer with the wrong ID, then the real one.
+		return [][]byte{answer(q, q.Header.ID^0xFFFF), answer(q, q.Header.ID)}
+	})
+	stub := &Stub{Server: addr, Timeout: 300 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	resp, err := stub.Query(ctx, "x.example.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Response {
+		t.Error("no response accepted")
+	}
+}
+
+func TestStubIgnoresGarbage(t *testing.T) {
+	addr := fakeAuth(t, func(q *dnswire.Message) [][]byte {
+		return [][]byte{{0xde, 0xad}, answer(q, q.Header.ID)}
+	})
+	stub := &Stub{Server: addr, Timeout: 300 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := stub.Query(ctx, "x.example.com", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStubRejectsMismatchedQuestion(t *testing.T) {
+	addr := fakeAuth(t, func(q *dnswire.Message) [][]byte {
+		m := &dnswire.Message{
+			Header: dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: []dnswire.Question{
+				{Name: dnsname.Name("other.example.com"), Type: dnswire.TypeA, Class: dnswire.ClassIN},
+			},
+		}
+		wire, _ := dnswire.Encode(m)
+		return [][]byte{wire}
+	})
+	stub := &Stub{Server: addr, Timeout: 300 * time.Millisecond, Retries: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := stub.Query(ctx, "x.example.com", dnswire.TypeA); err == nil {
+		t.Fatal("mismatched question should be rejected")
+	}
+}
+
+func TestStubTimeout(t *testing.T) {
+	addr := fakeAuth(t, func(*dnswire.Message) [][]byte { return nil })
+	stub := &Stub{Server: addr, Timeout: 150 * time.Millisecond, Retries: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := stub.Query(ctx, "x.example.com", dnswire.TypeA); err == nil {
+		t.Fatal("silent server should time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("retries took too long")
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// accidentDomain is Namecheap's shared default-nameserver domain, which
+// an employee accidentally asked Enom to delete in July 2016 (§4).
+var accidentDomain = dnsname.Name("registrar-servers.com")
+
+// setupAccidentInfra registers the shared nameserver domain and its host
+// fleet. It is also used to rebuild them during accident recovery.
+func (w *World) setupAccidentInfra(day dates.Day) error {
+	verisign := w.dir.RegistryFor(accidentDomain)
+	if err := w.registerInfra(verisign, rrEnom, accidentDomain, day); err != nil {
+		return err
+	}
+	k := int(w.cfg.NewDomainsPerDay)
+	if k < 4 {
+		k = 4
+	}
+	if k > 46 {
+		k = 46
+	}
+	hosts := make([]dnsname.Name, 0, k)
+	for i := 1; i <= k; i++ {
+		h := dnsname.Join(fmt.Sprintf("ns%d", i), accidentDomain)
+		if err := verisign.CreateHost(rrEnom, h, day, w.glueAddr()); err != nil {
+			return err
+		}
+		hosts = append(hosts, h)
+	}
+	if err := verisign.SetNS(rrEnom, accidentDomain, day, hosts[0], hosts[1]); err != nil {
+		return err
+	}
+	w.accidentHosts = hosts
+	return nil
+}
+
+// namecheapChannel routes a share of Enom registrations through the
+// shared registrar-servers.com nameservers (the Namecheap reseller
+// channel).
+func (w *World) namecheapChannel(st *domainState) ([]dnsname.Name, bool) {
+	if !w.cfg.Accident || st.registrar != rrEnom || len(w.accidentHosts) < 2 {
+		return nil, false
+	}
+	if w.rng.Float64() >= 0.35 {
+		return nil, false
+	}
+	i := w.rng.Intn(len(w.accidentHosts))
+	j := w.rng.Intn(len(w.accidentHosts) - 1)
+	if j >= i {
+		j++
+	}
+	return []dnsname.Name{w.accidentHosts[i], w.accidentHosts[j]}, true
+}
+
+// runAccident executes the accidental deletion: Enom's deletion machinery
+// renames every subordinate host of registrar-servers.com (silently
+// rewriting the delegations of every Namecheap-channel domain), deletes
+// the domain — and then the recovery begins the same day.
+func (w *World) runAccident(day dates.Day) error {
+	verisign := w.dir.RegistryFor(accidentDomain)
+	if w.domains[accidentDomain] == nil {
+		return nil
+	}
+	rr := w.registrars[rrEnom]
+	renames, err := rr.DeleteDomain(verisign, accidentDomain, day)
+	if err != nil {
+		return fmt.Errorf("accident: %w", err)
+	}
+	delete(w.domains, accidentDomain)
+	for _, rn := range renames {
+		w.noteRename(verisign, rn, rr.Name(), true)
+	}
+	// Recovery: Namecheap re-registers the domain and rebuilds the host
+	// fleet immediately; victim re-delegations are scheduled over the
+	// following days by scheduleAccidentRecoveryFix.
+	return w.setupAccidentInfra(day)
+}
+
+// scheduleAccidentRecoveryFix schedules the rapid re-delegation the paper
+// observed: the vast majority of affected domains fixed within three
+// days, a few percent over the following year, and a residual never.
+// Each victim delegates to two of the renamed hosts, so it appears under
+// two sacrificial names; the fate draw must happen exactly once per
+// victim or the late-fixing tail washes out.
+func (w *World) scheduleAccidentRecoveryFix(sacrificialNS dnsname.Name) {
+	verisign := w.dir.RegistryFor(accidentDomain)
+	repo := verisign.Repository()
+	if w.accidentSeen == nil {
+		w.accidentSeen = make(map[dnsname.Name]bool)
+	}
+	for _, victim := range repo.LinkedDomains(sacrificialNS) {
+		if w.domains[victim] == nil || w.accidentSeen[victim] {
+			continue
+		}
+		w.accidentSeen[victim] = true
+		w.accidentAffected = append(w.accidentAffected, victim)
+		r := w.rng.Float64()
+		var when dates.Day
+		switch {
+		case r < 0.97:
+			when = accidentDay.Add(1 + w.rng.Intn(3))
+		case r < 0.995:
+			when = accidentDay.Add(30 + w.rng.Intn(300))
+		default:
+			// Never fixed (the paper's 51 stragglers, still delegated
+			// four years later) — their owners keep renewing regardless.
+			if st := w.domains[victim]; st != nil {
+				st.termsLeft += 12
+			}
+			continue
+		}
+		// Restore to two of the rebuilt shared hosts.
+		i := w.rng.Intn(2)
+		hosts := []dnsname.Name{w.accidentHosts[i], w.accidentHosts[i+2]}
+		w.fixes[when] = append(w.fixes[when], fixAction{domain: victim, hosts: hosts})
+	}
+}
+
+// runDummynsDropCatch models footnote 6: after Internet.bs abandoned the
+// DUMMYNS.COM sink, the domain changed hands and its new owner captures
+// nameserver traffic for every domain still delegated under it.
+func (w *World) runDummynsDropCatch(day dates.Day) error {
+	sink := dnsname.Name("dummyns.com")
+	st := w.domains[sink]
+	if st == nil {
+		return nil
+	}
+	verisign := w.dir.RegistryFor(sink)
+	if err := verisign.Repository().TransferDomain(sink, rrDropCatch); err != nil {
+		return err
+	}
+	w.who.Observe(sink, day, w.registrarName(rrDropCatch))
+	st.registrar = rrDropCatch
+	for _, h := range w.defaultNS[rrDropCatch] {
+		if err := w.ensureHost(verisign, rrDropCatch, h, day); err != nil {
+			return err
+		}
+	}
+	if err := verisign.SetNS(rrDropCatch, sink, day, w.defaultNS[rrDropCatch]...); err != nil {
+		return err
+	}
+	w.truth.SinkTransfers = append(w.truth.SinkTransfers, sink)
+	return nil
+}

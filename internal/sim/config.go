@@ -1,0 +1,114 @@
+// Package sim drives a deterministic, multi-year simulation of the
+// domain-registration ecosystem: registries with shared EPP repositories,
+// registrars with their documented renaming idioms, domain owners with
+// self-hosted / registrar-default / third-party nameservice, hijacker
+// actors, the 2016 Namecheap accidental deletion, and the 2020-21
+// notification and remediation campaign.
+//
+// The simulation replaces the paper's data gate (nine years of daily zone
+// files from CAIDA-DZDB plus DomainTools WHOIS) by generating the same
+// kinds of zone-visible facts through the same causal mechanisms. The
+// detector consumes only the resulting zonedb.DB and whois.History — the
+// simulator's ground truth (Truth) is used exclusively to evaluate the
+// detector, never to inform it.
+package sim
+
+import (
+	"repro/internal/dates"
+)
+
+// Config parameterizes a simulation run. Zero fields take defaults from
+// DefaultConfig.
+type Config struct {
+	// Seed selects the deterministic random stream.
+	Seed int64
+
+	// Start and End bound the simulated days (inclusive). The defaults
+	// run 2009-07-01 through 2021-09-30: a warmup before the paper's
+	// observation window, the window itself (Apr 2011 - Sep 2020), and
+	// the remediation epilogue through Sep 2021.
+	Start dates.Day
+	End   dates.Day
+
+	// NewDomainsPerDay is the mean daily registration volume. It scales
+	// every population in the run; tests use small values, the CLI a
+	// larger one.
+	NewDomainsPerDay float64
+
+	// Hijackers enables the hijacker actors. Disabling them is the
+	// ablation for Figure 5/6 comparisons.
+	Hijackers bool
+
+	// Accident enables the Namecheap accidental-deletion event (§4).
+	Accident bool
+
+	// Remediation enables the notification campaign effects (§7): idiom
+	// switches, GoDaddy bulk re-delegation, and MarkMonitor cleanup.
+	Remediation bool
+
+	// UniformHijackers replaces degree-selective registration with a
+	// uniform coin flip of equal overall volume — the selectivity
+	// ablation.
+	UniformHijackers bool
+
+	// UseInvalidTLD makes the notified registrars adopt the §7.3
+	// .invalid-TLD idiom at the remediation switch instead of their
+	// historical sink choices — the reserved-label counterfactual.
+	UseInvalidTLD bool
+
+	// CascadeFixFrom, when set (non-zero and not dates.None), enables
+	// the §7.3 EPP protocol change from that day: domain deletion
+	// cascades to subordinate host references, so NO new sacrificial
+	// nameservers are created after it. Zero disables the
+	// counterfactual.
+	CascadeFixFrom dates.Day
+}
+
+// DefaultConfig returns the standard full-scenario configuration at the
+// given daily registration volume.
+func DefaultConfig(domainsPerDay float64) Config {
+	return Config{
+		Seed:             1,
+		Start:            dates.FromYMD(2007, 7, 1),
+		End:              dates.FromYMD(2021, 9, 30),
+		NewDomainsPerDay: domainsPerDay,
+		Hijackers:        true,
+		Accident:         true,
+		Remediation:      true,
+	}
+}
+
+// Milestone dates of the scenario, mirroring the paper's timeline.
+var (
+	// WindowStart / WindowEnd delimit the paper's measurement window.
+	WindowStart = dates.FromYMD(2011, 4, 1)
+	WindowEnd   = dates.FromYMD(2020, 9, 30)
+
+	// godaddyIdiomSwitch is when GoDaddy moved from PLEASEDROPTHISHOST to
+	// DROPTHISHOST.
+	godaddyIdiomSwitch = dates.FromYMD(2015, 3, 1)
+
+	// enomIdiomSwitch is when Enom moved from 123.BIZ to random names.
+	enomIdiomSwitch = dates.FromYMD(2012, 5, 1)
+
+	// internetBSSwitch is when Internet.bs (under CentralNIC) abandoned
+	// DUMMYNS.COM for the hijackable DELETED-DROP idiom.
+	internetBSSwitch = dates.FromYMD(2015, 6, 1)
+
+	// dummynsDropCatch is when the abandoned dummyns.com sink was
+	// drop-caught by an outside party (footnote 6).
+	dummynsDropCatch = dates.FromYMD(2016, 8, 15)
+
+	// accidentDay is the Namecheap registrar-servers.com deletion.
+	accidentDay = dates.FromYMD(2016, 7, 14)
+
+	// NotificationDay is when the outreach campaign began (§7).
+	NotificationDay = dates.FromYMD(2020, 9, 15)
+
+	// remediationIdiomSwitch is when the three notified registrars
+	// adopted protected idioms.
+	remediationIdiomSwitch = dates.FromYMD(2020, 10, 15)
+
+	// FollowupDay is the five-months-later measurement point of Table 5.
+	FollowupDay = dates.FromYMD(2021, 2, 15)
+)

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+	"repro/internal/idioms"
+)
+
+func TestNameGenUniqueness(t *testing.T) {
+	g := newNameGen(rand.New(rand.NewSource(1)))
+	seen := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		l := g.label()
+		if seen[l] {
+			t.Fatalf("duplicate label %q at %d", l, i)
+		}
+		seen[l] = true
+		if _, err := dnsname.Parse(l + ".com"); err != nil {
+			t.Fatalf("invalid label %q: %v", l, err)
+		}
+	}
+}
+
+func TestNameGenTypoShape(t *testing.T) {
+	g := newNameGen(rand.New(rand.NewSource(2)))
+	src := dnsname.MustParse("ns1.provider.com")
+	for i := 0; i < 200; i++ {
+		typo := g.typo(src)
+		if _, err := dnsname.Parse(string(typo)); err != nil {
+			t.Fatalf("invalid typo %q: %v", typo, err)
+		}
+		if typo == src {
+			t.Fatalf("typo identical to source")
+		}
+		if typo.TLD() != "com" {
+			t.Fatalf("typo changed TLD: %s", typo)
+		}
+	}
+	// Very short SLDs fall back to a fresh name rather than mangling.
+	short := g.typo("ns1.ab.com")
+	if _, err := dnsname.Parse(string(short)); err != nil {
+		t.Fatalf("short-source typo invalid: %v", err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	w := &World{rng: rand.New(rand.NewSource(3))}
+	const lambda = 7.0
+	total := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += w.poisson(lambda)
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-lambda) > 0.15 {
+		t.Fatalf("poisson mean = %.3f, want ~%v", mean, lambda)
+	}
+}
+
+func TestForeignize(t *testing.T) {
+	w := &World{}
+	verisign := epp.NewRepository("Verisign", "com", "net", "edu", "gov")
+	// A .com name in the Verisign repo must flip out.
+	got := w.foreignize(verisign, "ns1.typoed.com")
+	if verisign.Manages(got) {
+		t.Fatalf("foreignize left %s inside the repository", got)
+	}
+	// A foreign name is untouched.
+	if got := w.foreignize(verisign, "ns1.typoed.org"); got != "ns1.typoed.org" {
+		t.Fatalf("foreignize changed an external name: %s", got)
+	}
+}
+
+func TestWorldSetupInvariants(t *testing.T) {
+	cfg := DefaultConfig(2)
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every registrar with a sink idiom owns its sink domain in the
+	// right repository.
+	for sink, owner := range map[dnsname.Name]epp.RegistrarID{
+		"dummyns.com":        rrInternetBS,
+		"lamedelegation.org": rrNetSol,
+		"delete-host.com":    rrGMO,
+		"deletedns.com":      rrXinNet,
+	} {
+		reg := w.dir.RegistryFor(sink)
+		d, err := reg.Repository().DomainInfo(sink)
+		if err != nil {
+			t.Fatalf("sink %s not registered: %v", sink, err)
+		}
+		if d.Sponsor != owner {
+			t.Errorf("sink %s sponsored by %s, want %s", sink, d.Sponsor, owner)
+		}
+		// Sinks are deliberately lame: no delegation published.
+		if ns := reg.Repository().NSNames(d); len(ns) != 0 {
+			t.Errorf("sink %s has delegation %v; must be lame", sink, ns)
+		}
+	}
+	// Every registrar has working default nameservers with glue.
+	for id, def := range w.defaultNS {
+		if len(def) == 0 {
+			t.Errorf("registrar %s has no default NS", id)
+			continue
+		}
+		home := w.dir.RegistryFor(def[0])
+		h, err := home.Repository().HostInfo(def[0])
+		if err != nil {
+			t.Errorf("default NS %s missing: %v", def[0], err)
+			continue
+		}
+		if len(h.Addrs) == 0 {
+			t.Errorf("default NS %s has no glue", def[0])
+		}
+	}
+	// The market distribution sums to something sensible and every
+	// market registrar exists.
+	total := 0.0
+	for _, m := range w.market {
+		total += m.weight
+		if w.registrars[m.id] == nil {
+			t.Errorf("market registrar %s not constructed", m.id)
+		}
+	}
+	if total < 0.9 || total > 1.1 {
+		t.Errorf("market weights sum to %.2f", total)
+	}
+}
+
+func TestIdiomScheduleWiring(t *testing.T) {
+	cfg := DefaultConfig(2)
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		id   epp.RegistrarID
+		day  string
+		want idioms.ID
+	}{
+		{rrGoDaddy, "2012-01-01", idioms.PleaseDropThisHost},
+		{rrGoDaddy, "2018-01-01", idioms.DropThisHost},
+		{rrGoDaddy, "2021-06-01", idioms.EmptyAS112},
+		{rrEnom, "2011-01-01", idioms.Enom123},
+		{rrEnom, "2015-01-01", idioms.EnomRandom},
+		{rrInternetBS, "2012-01-01", idioms.DummyNS},
+		{rrInternetBS, "2017-01-01", idioms.DeletedDrop},
+		{rrInternetBS, "2021-06-01", idioms.NotAPlaceToBe},
+	}
+	for _, c := range cases {
+		day, err := parseDay(c.day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := w.registrars[c.id].IdiomOn(day)
+		if got == nil || got.ID != c.want {
+			t.Errorf("%s on %s: idiom = %v, want %s", c.id, c.day, got, c.want)
+		}
+	}
+}
+
+func TestUseInvalidTLDSwitchesSchedules(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UseInvalidTLD = true
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, _ := parseDay("2021-06-01")
+	for _, id := range []epp.RegistrarID{rrGoDaddy, rrEnom, rrInternetBS} {
+		got := w.registrars[id].IdiomOn(day)
+		if got == nil || got.ID != idioms.InvalidTLD {
+			t.Errorf("%s post-switch idiom = %v, want invalid-tld", id, got)
+		}
+	}
+}
+
+func parseDay(s string) (dates.Day, error) { return dates.Parse(s) }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dnsname"
+)
+
+// nameGen produces unique, pronounceable second-level labels so that the
+// original-nameserver substring matching of §3.2.3 operates on realistic
+// material (distinct word-like labels rather than sequential IDs).
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+	seq  int
+}
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br", "cl", "dr", "gr", "pl", "st", "tr", "sh", "ch"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	endings = []string{"", "", "", "n", "r", "s", "x", "l", "m"}
+	themes  = []string{"", "", "", "", "net", "web", "host", "media", "tech", "shop", "data", "cloud", "info", "hub"}
+)
+
+// label generates a fresh pronounceable label, guaranteed unique across
+// the generator's lifetime.
+func (g *nameGen) label() string {
+	for attempt := 0; ; attempt++ {
+		var sb strings.Builder
+		syllables := 2 + g.rng.Intn(2)
+		for i := 0; i < syllables; i++ {
+			sb.WriteString(onsets[g.rng.Intn(len(onsets))])
+			sb.WriteString(vowels[g.rng.Intn(len(vowels))])
+		}
+		sb.WriteString(endings[g.rng.Intn(len(endings))])
+		sb.WriteString(themes[g.rng.Intn(len(themes))])
+		s := sb.String()
+		if attempt > 20 {
+			g.seq++
+			s = fmt.Sprintf("%s%d", s, g.seq)
+		}
+		if !g.used[s] {
+			g.used[s] = true
+			return s
+		}
+	}
+}
+
+// domain generates a fresh registrable domain under tld.
+func (g *nameGen) domain(tld dnsname.Name) dnsname.Name {
+	return dnsname.Join(g.label(), tld)
+}
+
+// typo mangles a nameserver name into a plausible misconfiguration: a
+// dropped or doubled letter in the second-level label. The result refers
+// to a (almost certainly) nonexistent domain.
+func (g *nameGen) typo(ns dnsname.Name) dnsname.Name {
+	sld, ok := dnsname.SecondLevelLabel(ns)
+	if !ok || len(sld) < 3 {
+		return dnsname.Join("ns1", dnsname.Join(g.label(), "com"))
+	}
+	i := 1 + g.rng.Intn(len(sld)-2)
+	var mangled string
+	if g.rng.Intn(2) == 0 {
+		mangled = sld[:i] + sld[i+1:] // drop a letter
+	} else {
+		mangled = sld[:i] + sld[i:i+1] + sld[i:] // double a letter
+	}
+	reg, _ := dnsname.RegisteredDomain(ns)
+	return dnsname.Canonical(ns.FirstLabel() + "." + mangled + "." + string(reg.TLD()))
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+	"repro/internal/idioms"
+	"repro/internal/registry"
+)
+
+// remediationTick applies the post-notification cleanup (§7.1):
+//
+//   - GoDaddy, in monthly batches, re-delegates domains it sponsors away
+//     from its old hijackable sacrificial names to fresh
+//     empty.as112.arpa names (the dominant remediation the paper
+//     measured: ~60% of remediated domains).
+//   - MarkMonitor repairs the brand-protection domains it sponsors.
+//
+// Idiom switches themselves (Table 6) are part of the registrars' phase
+// schedules and need no tick.
+func (w *World) remediationTick(day dates.Day) error {
+	for _, offset := range []int{30, 60, 90, 120} {
+		if day == remediationIdiomSwitch.Add(offset) {
+			if err := w.godaddyRemediationBatch(day); err != nil {
+				return err
+			}
+		}
+	}
+	if day == remediationIdiomSwitch.Add(20) {
+		if err := w.markMonitorCleanup(day); err != nil {
+			return err
+		}
+	}
+	if day == remediationIdiomSwitch.Add(45) {
+		if err := w.cooperatingRegistrarCleanup(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cooperatingRegistrarCleanup models the long tail of §7.1: at least a
+// dozen additional registrars pulled the collated per-registrar lists
+// from the DNS Abuse Working Group and repaired a share of the affected
+// domains they sponsor.
+func (w *World) cooperatingRegistrarCleanup(day dates.Day) error {
+	cooperating := map[epp.RegistrarID]bool{
+		rrTucows: true, rrNameSilo: true, rrNetSol: true, rrRegisterCom: true,
+	}
+	for _, e := range w.danglingOrder {
+		if e.registered {
+			continue
+		}
+		repo := e.reg.Repository()
+		for _, ns := range e.ns {
+			for _, victim := range repo.LinkedDomains(ns) {
+				d, err := repo.DomainInfo(victim)
+				if err != nil || !cooperating[d.Sponsor] {
+					continue
+				}
+				if w.rng.Float64() > 0.6 {
+					continue // partial uptake
+				}
+				def := w.defaultNS[d.Sponsor]
+				ok := true
+				for _, h := range def {
+					if err := w.ensureHost(e.reg, d.Sponsor, h, day); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if err := e.reg.SetNS(d.Sponsor, victim, day, def...); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// godaddyRemediationBatch re-delegates GoDaddy-sponsored domains away
+// from every hijackable sacrificial name GoDaddy ever created. The batch
+// is idempotent: later batches only touch stragglers.
+func (w *World) godaddyRemediationBatch(day dates.Day) error {
+	rr := w.registrars[rrGoDaddy]
+	perRegistry := make(map[*registry.Registry][]dnsname.Name)
+	for _, rn := range w.truth.Renames {
+		if rn.Registrar != "GoDaddy" || rn.Accident {
+			continue
+		}
+		id := idioms.Lookup(rn.Idiom)
+		if id == nil || id.Class != idioms.Hijackable {
+			continue
+		}
+		for _, reg := range w.registries {
+			if reg.Repository().HostExists(rn.New) {
+				perRegistry[reg] = append(perRegistry[reg], rn.New)
+				break
+			}
+		}
+	}
+	for _, reg := range w.registries { // deterministic order
+		names := perRegistry[reg]
+		if len(names) == 0 {
+			continue
+		}
+		if _, err := rr.RemediateDelegations(reg, names, day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markMonitorCleanup re-delegates MarkMonitor-sponsored domains that
+// point at dangling sacrificial nameservers to MarkMonitor's own
+// infrastructure.
+func (w *World) markMonitorCleanup(day dates.Day) error {
+	def := w.defaultNS[rrMarkMonitor]
+	for _, e := range w.danglingOrder {
+		repo := e.reg.Repository()
+		for _, ns := range e.ns {
+			for _, victim := range repo.LinkedDomains(ns) {
+				d, err := repo.DomainInfo(victim)
+				if err != nil || d.Sponsor != rrMarkMonitor {
+					continue
+				}
+				ok := true
+				for _, h := range def {
+					if err := w.ensureHost(e.reg, rrMarkMonitor, h, day); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if err := e.reg.SetNS(rrMarkMonitor, victim, day, def...); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,838 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+	"repro/internal/hijacker"
+	"repro/internal/idioms"
+	"repro/internal/registrar"
+	"repro/internal/registry"
+)
+
+// Run executes the simulation from Start through End and closes the zone
+// database. It is deterministic for a given Config.
+func (w *World) Run() error {
+	for day := w.cfg.Start; day <= w.cfg.End; day++ {
+		if err := w.step(day); err != nil {
+			return fmt.Errorf("sim: day %s: %w", day, err)
+		}
+	}
+	w.zdb.Close(w.cfg.End)
+	return nil
+}
+
+// step advances the world one day.
+func (w *World) step(day dates.Day) error {
+	w.processFixes(day)
+	if err := w.processExpiries(day); err != nil {
+		return err
+	}
+	n := w.poisson(w.volume(day))
+	for i := 0; i < n; i++ {
+		if err := w.newDomain(day); err != nil {
+			return err
+		}
+	}
+	if int(day-w.cfg.Start)%14 == 3 {
+		if err := w.createTestNS(day); err != nil {
+			return err
+		}
+	}
+	if w.cfg.Hijackers {
+		if err := w.hijackerTick(day); err != nil {
+			return err
+		}
+	}
+	if w.cfg.Accident && day == accidentDay {
+		if err := w.runAccident(day); err != nil {
+			return err
+		}
+	}
+	if w.cfg.Accident && day == dummynsDropCatch {
+		if err := w.runDummynsDropCatch(day); err != nil {
+			return err
+		}
+	}
+	if w.cfg.Remediation {
+		if err := w.remediationTick(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// volume returns the mean registration volume for the day: mild growth
+// across the decade.
+func (w *World) volume(day dates.Day) float64 {
+	span := float64(w.cfg.End - w.cfg.Start)
+	t := float64(day-w.cfg.Start) / span
+	return w.cfg.NewDomainsPerDay * (0.95 + 0.1*t)
+}
+
+// poisson draws a Poisson variate (Knuth's method; lambda is small).
+func (w *World) poisson(lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= w.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(lambda*10+50) {
+			return k // numeric guard
+		}
+	}
+}
+
+// nsChoice is how a new registration arranges nameservice.
+type nsChoice int
+
+const (
+	nsSelf nsChoice = iota
+	nsDefault
+	nsThird
+)
+
+// pickNSChoice reflects the decade's drift toward registrar-operated DNS
+// (the driver of Figure 3's downward trend): self-hosting and third-party
+// nameservice decline, registrar defaults grow.
+func (w *World) pickNSChoice(day dates.Day, tld dnsname.Name) nsChoice {
+	span := float64(w.cfg.End - w.cfg.Start)
+	t := float64(day-w.cfg.Start) / span
+	pSelf := 0.36 - 0.20*t
+	decay := (1 - t) * (1 - t)
+	pThird := 0.08 + 0.34*decay
+	if tld == "edu" || tld == "gov" {
+		pSelf, pThird = 0.55, 0.25
+	}
+	r := w.rng.Float64()
+	switch {
+	case r < pSelf:
+		return nsSelf
+	case r < pSelf+pThird:
+		return nsThird
+	default:
+		return nsDefault
+	}
+}
+
+// newDomain registers one domain with a full nameservice arrangement.
+func (w *World) newDomain(day dates.Day) error {
+	var rrID epp.RegistrarID
+	var tld dnsname.Name
+	switch r := w.rng.Float64(); {
+	case r < 0.007:
+		rrID, tld = rrEducause, "edu"
+	case r < 0.012:
+		rrID, tld = rrCISA, "gov"
+	default:
+		rrID = w.pickRegistrar()
+		tld = w.pickTLD(day)
+	}
+	reg := w.dir.RegistryFor(dnsname.Join("x", tld))
+	name := w.gen.domain(tld)
+	for reg.Repository().DomainExists(name) {
+		name = w.gen.domain(tld)
+	}
+	st := &domainState{
+		name:      name,
+		registrar: rrID,
+		reg:       reg,
+		created:   day,
+		kind:      kindRegular,
+		popular:   w.rng.Float64() < 0.004,
+	}
+	st.termYears = w.pickTerm()
+	st.expiry = day.AddYears(st.termYears)
+	st.termsLeft = w.pickTermsLeft(st)
+	if st.popular {
+		w.popular[name] = true
+	}
+	if err := reg.RegisterDomain(rrID, name, day, st.expiry); err != nil {
+		return err
+	}
+	w.who.Observe(name, day, w.registrarName(rrID))
+	w.domains[name] = st
+	w.scheduleExpiry(name, st.expiry)
+
+	hosts, err := w.delegate(st, day)
+	if err != nil {
+		return err
+	}
+	// Brand protection: occasionally the same label is registered in an
+	// alternate TLD, parked on the same nameservers. These are the
+	// MarkMonitor-style names of §5.6, and the source of accidental
+	// PLEASEDROPTHISHOST collisions.
+	if len(hosts) > 0 && w.rng.Float64() < 0.03 {
+		if err := w.registerBrandAlt(st, hosts, day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickTerm draws a registration term in years.
+func (w *World) pickTerm() int {
+	switch r := w.rng.Float64(); {
+	case r < 0.72:
+		return 1
+	case r < 0.95:
+		return 2
+	default:
+		return 5
+	}
+}
+
+// pickTermsLeft draws how many renewals the owner will pay for.
+func (w *World) pickTermsLeft(st *domainState) int {
+	p := 0.45
+	if st.popular {
+		p = 0.85
+	}
+	n := 0
+	for w.rng.Float64() < p && n < 30 {
+		n++
+	}
+	return n
+}
+
+// delegate arranges nameservice for a fresh registration and returns the
+// host names installed.
+func (w *World) delegate(st *domainState, day dates.Day) ([]dnsname.Name, error) {
+	repo := st.reg.Repository()
+	var hosts []dnsname.Name
+	switch w.pickNSChoice(day, st.name.TLD()) {
+	case nsSelf:
+		ns1, ns2 := dnsname.Join("ns1", st.name), dnsname.Join("ns2", st.name)
+		for _, h := range []dnsname.Name{ns1, ns2} {
+			if err := st.reg.CreateHost(st.registrar, h, day, w.glueAddr()); err != nil {
+				return nil, err
+			}
+		}
+		hosts = []dnsname.Name{ns1, ns2}
+		// A minority of self-hosters offer nameservice to third parties;
+		// keeping the pool small concentrates dependents on each
+		// provider, giving sacrificial nameservers their heavy-tailed
+		// domain counts.
+		if w.rng.Float64() < 0.12 {
+			p := &provider{
+				domain: st.name,
+				// Copy: the delegation slice may be mutated below (the
+				// typo path), and the pool must keep the real host names.
+				hosts:  append([]dnsname.Name(nil), hosts...),
+				reg:    st.reg,
+				weight: w.paretoWeight(w.hostBias[st.registrar]),
+			}
+			st.kind = kindProvider
+			st.provider = p
+			st.termsLeft += 1 + w.rng.Intn(3) // businesses live longer
+			w.addProvider(p)
+		}
+	case nsThird:
+		n := 1
+		if w.rng.Float64() < 0.15 {
+			n = 2 // dual-provider redundancy: the partial-hijack population
+		}
+		seen := make(map[*provider]bool)
+		for i := 0; i < n; i++ {
+			p := w.pickProvider()
+			if p == nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			for _, h := range p.hosts {
+				if err := w.ensureHost(st.reg, st.registrar, h, day); err != nil {
+					return nil, err
+				}
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			hosts = nil // fall through to default below
+		}
+	}
+	if len(hosts) == 0 { // nsDefault or no provider available
+		def, ok := w.namecheapChannel(st)
+		if !ok {
+			def = w.defaultNS[st.registrar]
+		}
+		for _, h := range def {
+			if err := w.ensureHost(st.reg, st.registrar, h, day); err != nil {
+				return nil, err
+			}
+			hosts = append(hosts, h)
+		}
+	}
+	// Rarely, a typo slips into the NS set: a candidate nameserver the
+	// detector must NOT classify as sacrificial. Some typos are COMMON
+	// misspellings shared by unrelated registrants across TLDs — the
+	// population the single-repository check eliminates.
+	if w.rng.Float64() < 0.004 && len(hosts) > 0 {
+		var typo dnsname.Name
+		if len(w.typoPool) > 0 && w.rng.Float64() < 0.4 {
+			typo = w.typoPool[w.rng.Intn(len(w.typoPool))]
+			if repo.Manages(typo) && !repo.HostExists(typo) {
+				typo = "" // internal to this repository; unusable here
+			}
+		}
+		if typo == "" {
+			typo = w.foreignize(repo, w.gen.typo(hosts[len(hosts)-1]))
+			if w.rng.Float64() < 0.5 && len(w.typoPool) < 64 {
+				w.typoPool = append(w.typoPool, typo)
+			}
+		}
+		if typo != "" && !repo.HostExists(typo) {
+			if err := w.ensureHost(st.reg, st.registrar, typo, day); err == nil {
+				hosts[len(hosts)-1] = typo
+			}
+		} else if typo != "" && repo.HostExists(typo) {
+			hosts[len(hosts)-1] = typo
+		}
+	}
+	if err := st.reg.SetNS(st.registrar, st.name, day, hosts...); err != nil {
+		return nil, err
+	}
+	return hosts, nil
+}
+
+// foreignize flips a name's TLD out of the repository so it can exist as
+// an external host object.
+func (w *World) foreignize(repo *epp.Repository, name dnsname.Name) dnsname.Name {
+	if !repo.Manages(name) {
+		return name
+	}
+	for _, tld := range []dnsname.Name{"org", "com", "biz"} {
+		if !repo.Manages(dnsname.Join("x", tld)) {
+			base := name[:len(name)-len(name.TLD())-1]
+			return dnsname.Canonical(string(base) + "." + string(tld))
+		}
+	}
+	return name
+}
+
+// ensureHost makes sure a host object exists in the target registry's
+// repository, creating an external host when the name is foreign to it.
+func (w *World) ensureHost(reg *registry.Registry, sponsor epp.RegistrarID, host dnsname.Name, day dates.Day) error {
+	repo := reg.Repository()
+	if repo.HostExists(host) {
+		return nil
+	}
+	if repo.Manages(host) {
+		return fmt.Errorf("sim: internal host %s missing from repository %s (sponsor %s)", host, repo.ID(), sponsor)
+	}
+	return reg.CreateHost(sponsor, host, day)
+}
+
+// registerBrandAlt registers the same label under another TLD, parked on
+// the primary's nameservers.
+func (w *World) registerBrandAlt(primary *domainState, hosts []dnsname.Name, day dates.Day) error {
+	label := primary.name.FirstLabel()
+	tlds := []dnsname.Name{"com", "net", "org", "biz", "info"}
+	var alt dnsname.Name
+	for _, tld := range tlds {
+		if tld == primary.name.TLD() {
+			continue
+		}
+		cand := dnsname.Join(label, tld)
+		if reg := w.dir.RegistryFor(cand); reg != nil && !reg.Repository().DomainExists(cand) {
+			alt = cand
+			break
+		}
+	}
+	if alt == "" {
+		return nil
+	}
+	reg := w.dir.RegistryFor(alt)
+	rrID := primary.registrar
+	if w.rng.Float64() < 0.5 {
+		rrID = rrMarkMonitor
+	}
+	st := &domainState{
+		name:      alt,
+		registrar: rrID,
+		reg:       reg,
+		created:   day,
+		kind:      kindBrandAlt,
+		termYears: 1,
+	}
+	st.expiry = day.AddYears(1)
+	st.termsLeft = w.pickTermsLeft(st)
+	if err := reg.RegisterDomain(rrID, alt, day, st.expiry); err != nil {
+		return err
+	}
+	w.who.Observe(alt, day, w.registrarName(rrID))
+	w.domains[alt] = st
+	w.scheduleExpiry(alt, st.expiry)
+	repo := reg.Repository()
+	usable := make([]dnsname.Name, 0, len(hosts))
+	for _, h := range hosts {
+		// A host internal to the alternate repository can only be used if
+		// its object already exists there (e.g. a typo'd name cannot).
+		if repo.Manages(h) && !repo.HostExists(h) {
+			continue
+		}
+		if err := w.ensureHost(reg, rrID, h, day); err != nil {
+			return err
+		}
+		usable = append(usable, h)
+	}
+	if len(usable) == 0 {
+		for _, h := range w.defaultNS[rrID] {
+			if err := w.ensureHost(reg, rrID, h, day); err != nil {
+				return err
+			}
+			usable = append(usable, h)
+		}
+	}
+	return reg.SetNS(rrID, alt, day, usable...)
+}
+
+// createTestNS provisions a short-lived registry test domain with
+// EMT-prefixed nameservers (§3.2.2's excluded pattern).
+func (w *World) createTestNS(day dates.Day) error {
+	verisign := w.dir.RegistryFor("x.com")
+	name := dnsname.Canonical(fmt.Sprintf("emt-t-%09d-%013d-2-u.com",
+		w.rng.Intn(1_000_000_000), int64(w.rng.Intn(1_000_000_000))*10000+int64(w.rng.Intn(10000))))
+	if verisign.Repository().DomainExists(name) {
+		return nil
+	}
+	expiry := day.Add(7)
+	if err := verisign.RegisterDomain(rrVrsnOps, name, day, expiry); err != nil {
+		return err
+	}
+	w.who.Observe(name, day, w.registrarName(rrVrsnOps))
+	st := &domainState{
+		name: name, registrar: rrVrsnOps, reg: verisign,
+		created: day, expiry: expiry, kind: kindTest,
+	}
+	w.domains[name] = st
+	w.scheduleExpiry(name, expiry)
+	hosts := []dnsname.Name{dnsname.Join("emt-ns1", name), dnsname.Join("emt-ns2", name)}
+	for _, h := range hosts {
+		if err := verisign.CreateHost(rrVrsnOps, h, day); err != nil {
+			return err
+		}
+		w.truth.TestNS = append(w.truth.TestNS, h)
+	}
+	return verisign.SetNS(rrVrsnOps, name, day, hosts...)
+}
+
+// processExpiries handles every registration reaching its expiry date.
+// Non-provider domains are processed before providers: a dependent that
+// dies the same day as its provider must release its delegation first,
+// so the provider's host is deleted rather than renamed into a
+// sacrificial name no zone snapshot would ever show.
+func (w *World) processExpiries(day dates.Day) error {
+	scheduled := w.expiries[day]
+	if len(scheduled) == 0 {
+		return nil
+	}
+	delete(w.expiries, day)
+	hasSubordinates := func(name dnsname.Name) bool {
+		st := w.domains[name]
+		return st != nil && len(st.reg.Repository().SubordinateHosts(name)) > 0
+	}
+	names := make([]dnsname.Name, 0, len(scheduled))
+	for _, name := range scheduled {
+		if !hasSubordinates(name) {
+			names = append(names, name)
+		}
+	}
+	for _, name := range scheduled {
+		if hasSubordinates(name) {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		st := w.domains[name]
+		if st == nil || st.expiry != day {
+			continue // renewed, rescheduled, or already gone
+		}
+		if w.renews(st, day) {
+			st.expiry = day.AddYears(st.termYears)
+			if st.termYears == 0 {
+				st.expiry = day.AddYears(1)
+			}
+			if err := st.reg.RenewDomain(st.registrar, name, st.expiry); err != nil {
+				return err
+			}
+			w.scheduleExpiry(name, st.expiry)
+			// Renewal is when owners revisit their setup: across the
+			// decade an increasing share migrate to registrar-operated
+			// DNS, draining the third-party dependency graph (the other
+			// half of Figure 3's decline, and Table 5's organic churn).
+			if st.kind == kindRegular {
+				span := float64(w.cfg.End - w.cfg.Start)
+				t := float64(day-w.cfg.Start) / span
+				if w.rng.Float64() < 0.05+0.30*t {
+					w.migrateToDefaultNS(st, day)
+				}
+			}
+			continue
+		}
+		if err := w.retireDomain(st, day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateToDefaultNS re-delegates a domain to its registrar's default
+// nameservers (best effort).
+func (w *World) migrateToDefaultNS(st *domainState, day dates.Day) {
+	def := w.defaultNS[st.registrar]
+	if len(def) == 0 {
+		return
+	}
+	for _, h := range def {
+		if err := w.ensureHost(st.reg, st.registrar, h, day); err != nil {
+			return
+		}
+	}
+	_ = st.reg.SetNS(st.registrar, st.name, day, def...)
+}
+
+// renews decides whether the owner pays for another term.
+func (w *World) renews(st *domainState, day dates.Day) bool {
+	switch st.kind {
+	case kindInfra, kindSink:
+		return true
+	case kindTest:
+		return false
+	case kindHijack:
+		yearsHeld := (day.Sub(st.created) + 20) / 365
+		return st.actor != nil && st.actor.Renews(yearsHeld, w.rng)
+	default:
+		if st.termsLeft > 0 {
+			st.termsLeft--
+			return true
+		}
+		return false
+	}
+}
+
+// retireDomain runs the registrar deletion pipeline and processes its
+// consequences: sacrificial renames, dangling tracking, victim fixes.
+func (w *World) retireDomain(st *domainState, day dates.Day) error {
+	rr := w.registrars[st.registrar]
+	// §7.3 counterfactual: once the EPP cascade-delete change is in
+	// effect, deletion needs no renames at all.
+	if w.cfg.CascadeFixFrom != 0 && w.cfg.CascadeFixFrom != dates.None &&
+		day >= w.cfg.CascadeFixFrom && st.kind != kindHijack {
+		if err := st.reg.CascadeDeleteDomain(st.registrar, st.name, day); err != nil {
+			return err
+		}
+		if st.provider != nil {
+			w.removeProvider(st.provider)
+		}
+		delete(w.domains, st.name)
+		return nil
+	}
+	renames, err := rr.DeleteDomain(st.reg, st.name, day)
+	if err != nil {
+		if errors.Is(err, registrar.ErrNoIdiom) {
+			// Undeletable: subordinate hosts still referenced and the
+			// registrar has no renaming practice. webfusion invents an
+			// undetectable idiom on the spot (§3.3 limitation); everyone
+			// else parks the name and retries later.
+			if st.registrar == rrWebFusion {
+				return w.retireWithUndetectableIdiom(st, day)
+			}
+			// The pipeline already deleted the unlinked subordinate
+			// hosts, so the parked domain must stop attracting new
+			// delegations.
+			if st.provider != nil {
+				w.removeProvider(st.provider)
+			}
+			st.expiry = day.Add(90)
+			w.scheduleExpiry(st.name, st.expiry)
+			return nil
+		}
+		return err
+	}
+	for _, rn := range renames {
+		w.noteRename(st.reg, rn, rr.Name(), false)
+	}
+	if st.provider != nil {
+		w.removeProvider(st.provider)
+	}
+	if st.kind == kindHijack {
+		if e := w.dangling[st.name]; e != nil {
+			e.registered = false
+		}
+		if st.hijackIdx >= 0 && st.hijackIdx < len(w.truth.Hijacks) {
+			w.truth.Hijacks[st.hijackIdx].Expired = day
+		}
+	}
+	delete(w.domains, st.name)
+	return nil
+}
+
+// retireWithUndetectableIdiom renames linked subordinate hosts to fully
+// random names that preserve nothing of the original — the renaming style
+// the paper's methodology cannot attribute (§3.3).
+func (w *World) retireWithUndetectableIdiom(st *domainState, day dates.Day) error {
+	repo := st.reg.Repository()
+	tld := dnsname.Name("biz")
+	if repo.Manages(dnsname.Join("x", tld)) {
+		tld = "com"
+	}
+	for _, h := range repo.SubordinateHosts(st.name) {
+		oldName := h.Name // RenameHost mutates the host object
+		if len(repo.LinkedDomains(oldName)) == 0 {
+			if err := st.reg.DeleteHost(st.registrar, oldName, day); err != nil {
+				return err
+			}
+			continue
+		}
+		var newName dnsname.Name
+		for {
+			newName = dnsname.Join(randLabel(w.rng, 14), tld)
+			if !repo.HostExists(newName) {
+				break
+			}
+		}
+		if err := st.reg.RenameHost(st.registrar, oldName, newName, day); err != nil {
+			return err
+		}
+		// Ground truth records it (it IS a sacrificial rename); the
+		// detector is expected to miss it.
+		w.truth.Renames = append(w.truth.Renames, RenameEvent{
+			Old: oldName, New: newName, Idiom: "undetectable", Registrar: "WebFusion",
+			Day: day, Linked: len(repo.LinkedDomains(newName)),
+		})
+		w.scheduleVictimFixes(st.reg, newName, day)
+	}
+	if err := st.reg.DeleteDomain(st.registrar, st.name, day); err != nil {
+		return err
+	}
+	if st.provider != nil {
+		w.removeProvider(st.provider)
+	}
+	delete(w.domains, st.name)
+	return nil
+}
+
+func randLabel(rng interface{ Intn(int) int }, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// noteRename records ground truth for a sacrificial rename and, for
+// hijackable idioms whose target domain is unregistered, tracks the
+// dangling opportunity.
+func (w *World) noteRename(reg *registry.Registry, rn registrar.Rename, rrName string, accident bool) {
+	linked := len(reg.Repository().LinkedDomains(rn.New))
+	w.truth.Renames = append(w.truth.Renames, RenameEvent{
+		Old: rn.Old, New: rn.New, Idiom: rn.Idiom, Registrar: rrName,
+		Day: rn.Day, Linked: linked, Accident: accident,
+	})
+	if accident {
+		w.truth.AccidentNS = append(w.truth.AccidentNS, rn.New)
+		w.scheduleAccidentRecoveryFix(rn.New)
+		return
+	}
+	w.scheduleVictimFixes(reg, rn.New, rn.Day)
+	id := idioms.Lookup(rn.Idiom)
+	if id == nil || id.Class != idioms.Hijackable {
+		return
+	}
+	regDom, ok := dnsname.RegisteredDomain(rn.New)
+	if !ok {
+		return
+	}
+	targetReg := w.dir.RegistryFor(regDom)
+	if targetReg == nil {
+		return // untracked TLD; cannot observe registration
+	}
+	if targetReg.Repository().DomainExists(regDom) {
+		return // accidental collision with a registered domain (§4)
+	}
+	e := w.dangling[regDom]
+	if e == nil {
+		e = &danglingEntry{regDomain: regDom, reg: reg, created: rn.Day}
+		w.dangling[regDom] = e
+		w.danglingOrder = append(w.danglingOrder, e)
+	}
+	if e.reg == reg {
+		e.ns = append(e.ns, rn.New)
+	}
+}
+
+// scheduleVictimFixes decides which affected domains will notice and
+// repair their delegation, and when.
+func (w *World) scheduleVictimFixes(reg *registry.Registry, sacrificialNS dnsname.Name, day dates.Day) {
+	repo := reg.Repository()
+	for _, victim := range repo.LinkedDomains(sacrificialNS) {
+		st := w.domains[victim]
+		if st == nil {
+			continue
+		}
+		partial := false
+		if d, err := repo.DomainInfo(victim); err == nil {
+			for _, ns := range repo.NSNames(d) {
+				if ns == sacrificialNS {
+					continue
+				}
+				if nsReg, ok := dnsname.RegisteredDomain(ns); ok {
+					if owner := w.dir.RegistryFor(nsReg); owner != nil && owner.Repository().DomainExists(nsReg) {
+						partial = true
+						break
+					}
+				}
+			}
+		}
+		p := 0.10
+		if partial {
+			p = 0.05
+		}
+		if st.popular {
+			p = 0.85
+		}
+		if w.rng.Float64() < p {
+			when := day.Add(3 + w.rng.Intn(57))
+			w.fixes[when] = append(w.fixes[when], fixAction{domain: victim})
+		}
+	}
+}
+
+// processFixes applies scheduled delegation repairs.
+func (w *World) processFixes(day dates.Day) {
+	actions := w.fixes[day]
+	if len(actions) == 0 {
+		return
+	}
+	delete(w.fixes, day)
+	for _, fx := range actions {
+		st := w.domains[fx.domain]
+		if st == nil {
+			continue
+		}
+		hosts := fx.hosts
+		if len(hosts) == 0 {
+			hosts = w.defaultNS[st.registrar]
+		}
+		ok := true
+		for _, h := range hosts {
+			if err := w.ensureHost(st.reg, st.registrar, h, day); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Best-effort: the domain may have been transferred or its
+		// delegation already changed.
+		_ = st.reg.SetNS(st.registrar, fx.domain, day, hosts...)
+	}
+}
+
+// hijackerTick runs scans and sweeps for every actor.
+func (w *World) hijackerTick(day dates.Day) error {
+	for _, a := range w.actors {
+		scan, sweep := a.ScansOn(day), a.SweepsOn(day)
+		if !scan && !sweep {
+			continue
+		}
+		for _, e := range w.danglingOrder {
+			if e.registered {
+				continue
+			}
+			if scan && !a.Seen(e.regDomain) {
+				if day.Sub(e.created) < a.NoticeAfter {
+					continue // too fresh; later scans will pick it up
+				}
+				a.MarkSeen(e.regDomain)
+				degree := w.degreeOf(e)
+				if degree == 0 {
+					continue
+				}
+				if w.wants(a, e, degree) {
+					if err := w.registerHijack(a, e, day, degree, false); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if sweep && a.Seen(e.regDomain) && w.rng.Float64() < a.SweepChance {
+				degree := w.degreeOf(e)
+				if degree > 0 && w.wants(a, e, degree) {
+					if err := w.registerHijack(a, e, day, degree, true); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// wants applies the actor's selection policy, or the uniform ablation.
+func (w *World) wants(a *hijacker.Actor, e *danglingEntry, degree int) bool {
+	if w.cfg.UniformHijackers {
+		return w.rng.Float64() < 0.012
+	}
+	return a.Wants(hijacker.Opportunity{Domain: e.regDomain, Degree: degree, Created: e.created}, w.rng)
+}
+
+// degreeOf counts domains currently delegated to the entry's sacrificial
+// nameservers.
+func (w *World) degreeOf(e *danglingEntry) int {
+	repo := e.reg.Repository()
+	seen := make(map[dnsname.Name]bool)
+	for _, ns := range e.ns {
+		for _, d := range repo.LinkedDomains(ns) {
+			seen[d] = true
+		}
+	}
+	return len(seen)
+}
+
+// registerHijack has the actor register the sacrificial domain and point
+// it at their infrastructure.
+func (w *World) registerHijack(a *hijacker.Actor, e *danglingEntry, day dates.Day, degree int, sweep bool) error {
+	reg := w.dir.RegistryFor(e.regDomain)
+	if reg == nil {
+		return nil
+	}
+	expiry := day.AddYears(1)
+	if err := reg.RegisterDomain(a.Registrar, e.regDomain, day, expiry); err != nil {
+		return nil // lost a race with a brand registration; skip
+	}
+	w.who.Observe(e.regDomain, day, w.registrarName(a.Registrar))
+	var hosts []dnsname.Name
+	for _, h := range a.InfraNS {
+		if err := w.ensureHost(reg, a.Registrar, h, day); err == nil {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) > 0 {
+		if err := reg.SetNS(a.Registrar, e.regDomain, day, hosts...); err != nil {
+			return err
+		}
+	}
+	st := &domainState{
+		name: e.regDomain, registrar: a.Registrar, reg: reg,
+		created: day, expiry: expiry, termYears: 1,
+		kind: kindHijack, actor: a, hijackIdx: len(w.truth.Hijacks),
+	}
+	w.domains[e.regDomain] = st
+	w.scheduleExpiry(e.regDomain, expiry)
+	e.registered = true
+	w.truth.Hijacks = append(w.truth.Hijacks, HijackEvent{
+		Domain: e.regDomain, Actor: a.Name, Day: day, Degree: degree,
+		Sweep: sweep, Expired: dates.None,
+	})
+	return nil
+}

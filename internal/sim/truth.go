@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/idioms"
+)
+
+// RenameEvent is the simulator's ground-truth record of one sacrificial
+// rename: which registrar renamed which host object to what, under which
+// idiom, and how many domains were delegated to it at that moment.
+type RenameEvent struct {
+	Old       dnsname.Name
+	New       dnsname.Name
+	Idiom     idioms.ID
+	Registrar string
+	Day       dates.Day
+	// Linked is the number of domains whose delegation was silently
+	// rewritten by the rename.
+	Linked int
+	// Accident marks renames caused by the Namecheap accidental deletion
+	// rather than routine expiry processing.
+	Accident bool
+}
+
+// HijackEvent records a hijacker registering a sacrificial nameserver
+// domain.
+type HijackEvent struct {
+	Domain  dnsname.Name // the registered sacrificial NS domain
+	Actor   string
+	Day     dates.Day
+	Degree  int // domains delegated at registration time
+	Sweep   bool
+	Expired dates.Day // when the registration finally lapsed (None if held at End)
+}
+
+// Truth is the full ground-truth ledger of a run, used to evaluate the
+// detector. Nothing in internal/detect reads it.
+type Truth struct {
+	Renames []RenameEvent
+	Hijacks []HijackEvent
+	// TestNS lists registry test nameservers created (the EMT- pattern).
+	TestNS []dnsname.Name
+	// AccidentNS lists the sacrificial names created by the Namecheap
+	// accident; analyses exclude them as the paper does.
+	AccidentNS []dnsname.Name
+	// SinkTransfers records sink domains that changed hands (the
+	// dummyns.com drop-catch of footnote 6).
+	SinkTransfers []dnsname.Name
+}
+
+// SacrificialSet returns the set of all ground-truth sacrificial
+// nameserver names (excluding accident renames when excludeAccident).
+func (t *Truth) SacrificialSet(excludeAccident bool) map[dnsname.Name]bool {
+	out := make(map[dnsname.Name]bool, len(t.Renames))
+	for _, r := range t.Renames {
+		if excludeAccident && r.Accident {
+			continue
+		}
+		out[r.New] = true
+	}
+	return out
+}
+
+// HijackableSet returns the ground-truth sacrificial names created by
+// hijackable idioms.
+func (t *Truth) HijackableSet() map[dnsname.Name]bool {
+	out := make(map[dnsname.Name]bool)
+	for _, r := range t.Renames {
+		if r.Accident {
+			continue
+		}
+		if id := idioms.Lookup(r.Idiom); id != nil && id.Class == idioms.Hijackable {
+			out[r.New] = true
+		}
+	}
+	return out
+}

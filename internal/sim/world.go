@@ -1,0 +1,549 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/epp"
+	"repro/internal/hijacker"
+	"repro/internal/idioms"
+	"repro/internal/registrar"
+	"repro/internal/registry"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+// domainKind classifies simulated registrations.
+type domainKind int
+
+const (
+	kindRegular domainKind = iota
+	kindProvider
+	kindBrandAlt
+	kindHijack
+	kindInfra
+	kindSink
+	kindTest
+)
+
+// domainState is the simulator's view of one live registration.
+type domainState struct {
+	name      dnsname.Name
+	registrar epp.RegistrarID
+	reg       *registry.Registry
+	created   dates.Day
+	expiry    dates.Day
+	termYears int
+	termsLeft int
+	kind      domainKind
+	provider  *provider
+	actor     *hijacker.Actor
+	hijackIdx int
+	popular   bool
+}
+
+// provider is a self-hosted domain whose nameservers other domains use.
+type provider struct {
+	domain dnsname.Name
+	hosts  []dnsname.Name
+	reg    *registry.Registry
+	weight float64
+	dead   bool
+}
+
+// danglingEntry tracks a hijackable sacrificial nameserver domain: the
+// registrable domain an attacker could register, and the sacrificial NS
+// names under it.
+type danglingEntry struct {
+	regDomain  dnsname.Name
+	ns         []dnsname.Name
+	reg        *registry.Registry // repository holding the host objects
+	created    dates.Day
+	registered bool
+}
+
+// fixAction is a scheduled victim reaction: re-delegate domain to the
+// given hosts (or, when hosts is empty, to its registrar's defaults).
+type fixAction struct {
+	domain dnsname.Name
+	hosts  []dnsname.Name
+}
+
+// World is a fully wired simulation. Create with NewWorld, then Run.
+type World struct {
+	cfg Config
+	rng *rand.Rand
+	gen *nameGen
+
+	registries []*registry.Registry
+	dir        *registry.Directory
+	zdb        *zonedb.DB
+	who        *whois.History
+
+	registrars map[epp.RegistrarID]*registrar.Registrar
+	market     []marketEntry
+	defaultNS  map[epp.RegistrarID][]dnsname.Name
+	hostBias   map[epp.RegistrarID]float64
+	actors     []*hijacker.Actor
+
+	domains   map[dnsname.Name]*domainState
+	expiries  map[dates.Day][]dnsname.Name
+	fixes     map[dates.Day][]fixAction
+	providers []*provider
+	provTotal float64
+
+	// dangling is keyed by the registrable domain of sacrificial names;
+	// danglingOrder preserves creation order for deterministic scans.
+	dangling      map[dnsname.Name]*danglingEntry
+	danglingOrder []*danglingEntry
+
+	accidentHosts    []dnsname.Name
+	accidentAffected []dnsname.Name
+	accidentSeen     map[dnsname.Name]bool
+
+	// typoPool holds common misspellings reused across registrants.
+	typoPool []dnsname.Name
+
+	// popular records every domain flagged popular, including expired
+	// ones (the domainState is deleted at retirement).
+	popular map[dnsname.Name]bool
+
+	truth Truth
+}
+
+type marketEntry struct {
+	id     epp.RegistrarID
+	weight float64
+}
+
+// Registrar EPP account IDs.
+const (
+	rrGoDaddy      epp.RegistrarID = "godaddy"
+	rrEnom         epp.RegistrarID = "enom"
+	rrNetSol       epp.RegistrarID = "netsol"
+	rrInternetBS   epp.RegistrarID = "internetbs"
+	rrGMO          epp.RegistrarID = "gmo"
+	rrXinNet       epp.RegistrarID = "xinnet"
+	rrTLDRS        epp.RegistrarID = "tldrs"
+	rrSRSPlus      epp.RegistrarID = "srsplus"
+	rrDomainPeople epp.RegistrarID = "domainpeople"
+	rrFabulous     epp.RegistrarID = "fabulous"
+	rrRegisterCom  epp.RegistrarID = "registercom"
+	rrTucows       epp.RegistrarID = "tucows"
+	rrNameSilo     epp.RegistrarID = "namesilo"
+	rrMarkMonitor  epp.RegistrarID = "markmonitor"
+	rrWebFusion    epp.RegistrarID = "webfusion"
+	rrEducause     epp.RegistrarID = "educause"
+	rrCISA         epp.RegistrarID = "cisa"
+	rrVrsnOps      epp.RegistrarID = "verisign-ops"
+	rrDropCatch    epp.RegistrarID = "dropcatch"
+)
+
+// StandardDirectory returns the TLD-to-registry mapping the simulation
+// uses, with no recorder attached. It is public knowledge (the IANA
+// registry list), so tools that run detection over ARCHIVED zone data —
+// where no simulation exists — construct it directly.
+func StandardDirectory() *registry.Directory {
+	return registry.NewDirectory(
+		registry.New("Verisign", nil, "com", "net", "edu", "gov"),
+		registry.New("Afilias", nil, "org", "info"),
+		registry.New("Neustar", nil, "biz", "us"),
+		registry.New("Donuts", nil, "xyz"),
+	)
+}
+
+// NewWorld wires registries, registrars, sinks, infrastructure, and
+// hijacker actors for the given configuration.
+func NewWorld(cfg Config) (*World, error) {
+	def := DefaultConfig(cfg.NewDomainsPerDay)
+	if cfg.Start == 0 && cfg.End == 0 {
+		cfg.Start, cfg.End = def.Start, def.End
+	}
+	if cfg.NewDomainsPerDay <= 0 {
+		cfg.NewDomainsPerDay = 10
+	}
+	w := &World{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		zdb:        zonedb.New(),
+		who:        whois.New(),
+		registrars: make(map[epp.RegistrarID]*registrar.Registrar),
+		defaultNS:  make(map[epp.RegistrarID][]dnsname.Name),
+		domains:    make(map[dnsname.Name]*domainState),
+		popular:    make(map[dnsname.Name]bool),
+		expiries:   make(map[dates.Day][]dnsname.Name),
+		fixes:      make(map[dates.Day][]fixAction),
+		dangling:   make(map[dnsname.Name]*danglingEntry),
+	}
+	w.gen = newNameGen(rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)))
+
+	// Registries: four EPP repositories. Verisign's backs the restricted
+	// .edu and .gov TLDs alongside .com/.net — the scoping that lets a
+	// .com rename rewrite a .gov delegation (§2.4, Figure 2).
+	verisign := registry.New("Verisign", w.zdb, "com", "net", "edu", "gov")
+	afilias := registry.New("Afilias", w.zdb, "org", "info")
+	neustar := registry.New("Neustar", w.zdb, "biz", "us")
+	donuts := registry.New("Donuts", w.zdb, "xyz")
+	w.registries = []*registry.Registry{verisign, afilias, neustar, donuts}
+	w.dir = registry.NewDirectory(w.registries...)
+
+	w.setupRegistrars()
+	if cfg.Hijackers {
+		w.actors = hijacker.DefaultActors()
+	}
+	if err := w.setupInfrastructure(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// rrSpec describes one registrar for setup.
+type rrSpec struct {
+	id       epp.RegistrarID
+	name     string
+	weight   float64 // market share of new registrations
+	phases   []registrar.Phase
+	hostBias float64 // multiplier on provider attractiveness
+}
+
+func (w *World) registrarSpecs() []rrSpec {
+	start := w.cfg.Start
+	rem := w.cfg.Remediation
+	phase := func(from dates.Day, id idioms.ID) registrar.Phase {
+		return registrar.Phase{From: from, Idiom: id}
+	}
+	godaddy := []registrar.Phase{phase(start, idioms.PleaseDropThisHost), phase(godaddyIdiomSwitch, idioms.DropThisHost)}
+	enom := []registrar.Phase{phase(start, idioms.Enom123), phase(enomIdiomSwitch, idioms.EnomRandom)}
+	ibs := []registrar.Phase{phase(start, idioms.DummyNS), phase(internetBSSwitch, idioms.DeletedDrop)}
+	if rem {
+		gdIdiom, enomIdiom, ibsIdiom := idioms.EmptyAS112, idioms.DeleteRegistrar, idioms.NotAPlaceToBe
+		if w.cfg.UseInvalidTLD {
+			// §7.3 counterfactual: all three adopt the reserved TLD.
+			gdIdiom, enomIdiom, ibsIdiom = idioms.InvalidTLD, idioms.InvalidTLD, idioms.InvalidTLD
+		}
+		godaddy = append(godaddy, phase(remediationIdiomSwitch, gdIdiom))
+		enom = append(enom, phase(remediationIdiomSwitch, enomIdiom))
+		ibs = append(ibs, phase(remediationIdiomSwitch, ibsIdiom))
+	}
+	return []rrSpec{
+		{rrGoDaddy, "GoDaddy", 0.26, godaddy, 1},
+		{rrEnom, "Enom", 0.17, enom, 1},
+		{rrNetSol, "Network Solutions", 0.07, []registrar.Phase{phase(start, idioms.LameDelegation)}, 3},
+		{rrInternetBS, "Internet.bs", 0.055, ibs, 4},
+		{rrGMO, "GMO Internet", 0.035, []registrar.Phase{phase(start, idioms.DeleteHost)}, 7},
+		{rrXinNet, "Xin Net Technology Corp.", 0.03, []registrar.Phase{phase(start, idioms.DeletedNS)}, 8},
+		{rrTLDRS, "TLD Registrar Solutions", 0.025, []registrar.Phase{phase(start, idioms.NSHoldFix)}, 2.5},
+		{rrSRSPlus, "SRSPlus", 0.012, []registrar.Phase{phase(start, idioms.LameDelegationSrvs)}, 1},
+		{rrDomainPeople, "DomainPeople", 0.012, []registrar.Phase{phase(start, idioms.DomainPeopleRandom)}, 1},
+		{rrFabulous, "Fabulous.com", 0.01, []registrar.Phase{phase(start, idioms.FabulousRandom)}, 0.8},
+		{rrRegisterCom, "Register.com", 0.015, []registrar.Phase{phase(start, idioms.RegisterComRandom)}, 0.8},
+		// Registrars without (detectable) renaming practices.
+		{rrTucows, "Tucows", 0.12, nil, 1},
+		{rrNameSilo, "NameSilo", 0.10, nil, 1},
+		{rrMarkMonitor, "MarkMonitor", 0.006, nil, 0.2},
+		// webfusion uses an undetectable idiom (no marker, no original
+		// substring) — exercising the §3.3 limitation.
+		{rrWebFusion, "WebFusion", 0.02, nil, 1},
+	}
+}
+
+func (w *World) setupRegistrars() {
+	w.hostBias = make(map[epp.RegistrarID]float64)
+	for _, spec := range w.registrarSpecs() {
+		rng := rand.New(rand.NewSource(w.cfg.Seed ^ int64(hashID(spec.id))))
+		w.registrars[spec.id] = registrar.New(spec.id, spec.name, rng, spec.phases...)
+		w.market = append(w.market, marketEntry{spec.id, spec.weight})
+		w.hostBias[spec.id] = spec.hostBias
+	}
+	// Registry-operated registration channels (no public market share).
+	for _, extra := range []struct {
+		id   epp.RegistrarID
+		name string
+	}{
+		{rrEducause, "EDUCAUSE"}, {rrCISA, "CISA"}, {rrVrsnOps, "Verisign Ops"}, {rrDropCatch, "DropCatch LLC"},
+	} {
+		rng := rand.New(rand.NewSource(w.cfg.Seed ^ int64(hashID(extra.id))))
+		w.registrars[extra.id] = registrar.New(extra.id, extra.name, rng)
+	}
+	// Hijacker registrar accounts.
+	for _, id := range []epp.RegistrarID{"openprovider", "regru"} {
+		rng := rand.New(rand.NewSource(w.cfg.Seed ^ int64(hashID(id))))
+		w.registrars[id] = registrar.New(id, string(id), rng)
+	}
+}
+
+func hashID(id epp.RegistrarID) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return h
+}
+
+// infraDomains maps registrars to their default-nameserver domains.
+var infraDomains = map[epp.RegistrarID]dnsname.Name{
+	rrGoDaddy:      "domaincontrol.com",
+	rrEnom:         "name-services.com",
+	rrNetSol:       "worldnic.com",
+	rrInternetBS:   "topdns.com",
+	rrGMO:          "onamae-server.com",
+	rrXinNet:       "xincache.com",
+	rrTLDRS:        "tldrsdns.com",
+	rrSRSPlus:      "srsplusdns.com",
+	rrDomainPeople: "dpdns.com",
+	rrFabulous:     "fabulousdns.com",
+	rrRegisterCom:  "registeradns.com",
+	rrTucows:       "systemdns.com",
+	rrNameSilo:     "dnsowl.com",
+	rrMarkMonitor:  "markmonitordns.com",
+	rrWebFusion:    "webfusiondns.com",
+	rrEducause:     "educausedns.net",
+	rrCISA:         "cisadns.net",
+	rrVrsnOps:      "vrsnopsdns.com",
+	rrDropCatch:    "dropcatchdns.com",
+	"openprovider": "openproviderdns.com",
+	"regru":        "regrudns.com",
+}
+
+// glueAddr fabricates a deterministic documentation-range address.
+func (w *World) glueAddr() netip.Addr {
+	return netip.AddrFrom4([4]byte{198, 51, byte(w.rng.Intn(250)), byte(1 + w.rng.Intn(250))})
+}
+
+// foreverTerms keeps infrastructure and sink registrations renewing for
+// the whole run.
+const foreverTerms = 1 << 20
+
+// setupInfrastructure registers registrar default-NS domains, sink
+// domains, and hijacker infrastructure that lives inside tracked TLDs.
+func (w *World) setupInfrastructure() error {
+	day := w.cfg.Start
+	// Registrar default NS infrastructure.
+	for id, infra := range infraDomains {
+		reg := w.dir.RegistryFor(infra)
+		if reg == nil {
+			return fmt.Errorf("sim: no registry for infra domain %s", infra)
+		}
+		if err := w.registerInfra(reg, id, infra, day); err != nil {
+			return err
+		}
+		ns1, ns2 := dnsname.Join("ns1", infra), dnsname.Join("ns2", infra)
+		for _, h := range []dnsname.Name{ns1, ns2} {
+			if err := reg.CreateHost(id, h, day, w.glueAddr()); err != nil {
+				return err
+			}
+		}
+		if err := reg.SetNS(id, infra, day, ns1, ns2); err != nil {
+			return err
+		}
+		w.defaultNS[id] = []dnsname.Name{ns1, ns2}
+	}
+	// Sink domains for every sink-style idiom, registered by the idiom's
+	// registrar, deliberately NOT delegated (lame by design).
+	sinkOwners := map[dnsname.Name]epp.RegistrarID{
+		"dummyns.com":               rrInternetBS,
+		"lamedelegation.org":        rrNetSol,
+		"nsholdfix.com":             rrTLDRS,
+		"delete-host.com":           rrGMO,
+		"deletedns.com":             rrXinNet,
+		"lamedelegationservers.com": rrSRSPlus,
+		"lamedelegationservers.net": rrSRSPlus,
+		"delete-registration.com":   rrEnom,
+	}
+	for sink, owner := range sinkOwners {
+		reg := w.dir.RegistryFor(sink)
+		if reg == nil {
+			continue // external sinks (.be, .arpa) need no registration
+		}
+		if err := w.registerSink(reg, owner, sink, day); err != nil {
+			return err
+		}
+	}
+	// Hijacker infrastructure domains inside tracked TLDs, so their NS
+	// hosts can exist as internal objects with glue.
+	if w.cfg.Hijackers {
+		for _, a := range w.actors {
+			seen := make(map[dnsname.Name]bool)
+			for _, ns := range a.InfraNS {
+				infra, ok := dnsname.RegisteredDomain(ns)
+				if !ok || seen[infra] {
+					continue
+				}
+				seen[infra] = true
+				reg := w.dir.RegistryFor(infra)
+				if reg == nil {
+					continue // .nl, .ch etc. live outside tracked zones
+				}
+				if err := w.registerInfra(reg, a.Registrar, infra, day); err != nil {
+					return err
+				}
+				if err := reg.CreateHost(a.Registrar, ns, day, w.glueAddr()); err != nil {
+					return err
+				}
+				if err := reg.SetNS(a.Registrar, infra, day, ns); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// The Namecheap channel's shared default-nameserver domain.
+	if w.cfg.Accident {
+		if err := w.setupAccidentInfra(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *World) registerInfra(reg *registry.Registry, owner epp.RegistrarID, name dnsname.Name, day dates.Day) error {
+	expiry := day.AddYears(1)
+	if err := reg.RegisterDomain(owner, name, day, expiry); err != nil {
+		return err
+	}
+	w.who.Observe(name, day, w.registrarName(owner))
+	w.domains[name] = &domainState{
+		name: name, registrar: owner, reg: reg,
+		created: day, expiry: expiry, termYears: 1, termsLeft: foreverTerms, kind: kindInfra,
+	}
+	w.scheduleExpiry(name, expiry)
+	return nil
+}
+
+func (w *World) registerSink(reg *registry.Registry, owner epp.RegistrarID, name dnsname.Name, day dates.Day) error {
+	if err := w.registerInfra(reg, owner, name, day); err != nil {
+		return err
+	}
+	w.domains[name].kind = kindSink
+	return nil
+}
+
+func (w *World) registrarName(id epp.RegistrarID) string {
+	if rr := w.registrars[id]; rr != nil {
+		return rr.Name()
+	}
+	return string(id)
+}
+
+func (w *World) scheduleExpiry(name dnsname.Name, day dates.Day) {
+	w.expiries[day] = append(w.expiries[day], name)
+}
+
+// ZoneDB returns the longitudinal zone database (the detector's input).
+func (w *World) ZoneDB() *zonedb.DB { return w.zdb }
+
+// WHOIS returns the registrar-of-record history.
+func (w *World) WHOIS() *whois.History { return w.who }
+
+// Directory returns the TLD-to-registry directory (public knowledge).
+func (w *World) Directory() *registry.Directory { return w.dir }
+
+// Truth returns the ground-truth ledger for evaluation.
+func (w *World) Truth() *Truth { return &w.truth }
+
+// PopularDomains returns the set of domains flagged popular (the Alexa
+// Top-1M stand-in). Includes domains that have since expired.
+func (w *World) PopularDomains() map[dnsname.Name]bool {
+	out := make(map[dnsname.Name]bool, len(w.popular))
+	for d := range w.popular {
+		out[d] = true
+	}
+	return out
+}
+
+// Config returns the configuration the world was built with.
+func (w *World) Config() Config { return w.cfg }
+
+// pickRegistrar samples a registrar by market share.
+func (w *World) pickRegistrar() epp.RegistrarID {
+	total := 0.0
+	for _, m := range w.market {
+		total += m.weight
+	}
+	r := w.rng.Float64() * total
+	for _, m := range w.market {
+		if r < m.weight {
+			return m.id
+		}
+		r -= m.weight
+	}
+	return w.market[len(w.market)-1].id
+}
+
+// tldShare samples a TLD for a new registration. ngTLD .xyz only becomes
+// available mid-2014.
+func (w *World) pickTLD(day dates.Day) dnsname.Name {
+	type share struct {
+		tld dnsname.Name
+		w   float64
+	}
+	shares := []share{
+		{"com", 0.55}, {"net", 0.10}, {"org", 0.12}, {"info", 0.07},
+		{"biz", 0.05}, {"us", 0.02},
+	}
+	if day >= dates.FromYMD(2014, 6, 1) {
+		shares = append(shares, share{"xyz", 0.04})
+	}
+	total := 0.0
+	for _, s := range shares {
+		total += s.w
+	}
+	r := w.rng.Float64() * total
+	for _, s := range shares {
+		if r < s.w {
+			return s.tld
+		}
+		r -= s.w
+	}
+	return "com"
+}
+
+// pickProvider samples a third-party nameservice provider by popularity
+// weight, or nil when none exist yet.
+func (w *World) pickProvider() *provider {
+	if w.provTotal <= 0 {
+		return nil
+	}
+	r := w.rng.Float64() * w.provTotal
+	for _, p := range w.providers {
+		if p.dead {
+			continue
+		}
+		if r < p.weight {
+			return p
+		}
+		r -= p.weight
+	}
+	return nil
+}
+
+func (w *World) addProvider(p *provider) {
+	w.providers = append(w.providers, p)
+	w.provTotal += p.weight
+}
+
+func (w *World) removeProvider(p *provider) {
+	if !p.dead {
+		p.dead = true
+		w.provTotal -= p.weight
+		if w.provTotal < 0 {
+			w.provTotal = 0
+		}
+	}
+}
+
+// paretoWeight draws a heavy-tailed attractiveness weight.
+func (w *World) paretoWeight(bias float64) float64 {
+	u := w.rng.Float64()
+	if u < 1e-6 {
+		u = 1e-6
+	}
+	v := math.Pow(1/u, 1/1.25) // Pareto alpha ~ 1.25
+	if v > 70 {
+		v = 70
+	}
+	return v * bias
+}

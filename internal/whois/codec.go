@@ -1,0 +1,67 @@
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// The archive format is one sponsorship record per line:
+//
+//	whois 1
+//	W foo.com 2011-04-01 GoDaddy
+//
+// Registrar names may contain spaces; they occupy the rest of the line.
+
+const archiveMagic = "whois 1"
+
+// WriteArchive archives the history.
+func (h *History) WriteArchive(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, archiveMagic)
+	for domain, recs := range h.byDomain {
+		for _, rec := range recs {
+			fmt.Fprintf(bw, "W %s %s %s\n", domain, rec.Day, rec.Registrar)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom loads an archive produced by WriteArchive.
+func ReadFrom(r io.Reader) (*History, error) {
+	h := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("whois: empty archive")
+	}
+	if sc.Text() != archiveMagic {
+		return nil, fmt.Errorf("whois: bad magic %q", sc.Text())
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 4)
+		if len(parts) != 4 || parts[0] != "W" {
+			return nil, fmt.Errorf("whois: line %d: malformed record %q", lineNo, line)
+		}
+		domain, err := dnsname.Parse(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("whois: line %d: %v", lineNo, err)
+		}
+		day, err := dates.Parse(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("whois: line %d: %v", lineNo, err)
+		}
+		h.Observe(domain, day, parts[3])
+	}
+	return h, sc.Err()
+}

@@ -1,0 +1,86 @@
+package zonedb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dnsname"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	db := New()
+	db.DomainAdded("com", "foo.com", d(10))
+	db.DelegationAdded("com", "foo.com", "ns1.foo.com", d(10))
+	db.GlueAdded("com", "ns1.foo.com", d(10))
+	db.DelegationAdded("net", "bar.net", "ns1.foo.com", d(20))
+	db.DelegationRemoved("net", "bar.net", "ns1.foo.com", d(30))
+	db.DelegationAdded("net", "bar.net", "dropthishost-z.biz", d(30))
+	db.DomainAdded("net", "bar.net", d(20))
+	db.Close(d(100))
+
+	var buf bytes.Buffer
+	if err := db.WriteArchive(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if back.NumDomains() != db.NumDomains() || back.NumNameservers() != db.NumNameservers() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			back.NumDomains(), back.NumNameservers(), db.NumDomains(), db.NumNameservers())
+	}
+	for _, pair := range [][2]string{
+		{"foo.com", "ns1.foo.com"},
+		{"bar.net", "ns1.foo.com"},
+		{"bar.net", "dropthishost-z.biz"},
+	} {
+		a := db.EdgeSpans(dn(pair[0]), dn(pair[1]))
+		b := back.EdgeSpans(dn(pair[0]), dn(pair[1]))
+		if a.String() != b.String() {
+			t.Errorf("edge %v spans differ: %s vs %s", pair, a.String(), b.String())
+		}
+	}
+	if db.GlueSpans("ns1.foo.com").String() != back.GlueSpans("ns1.foo.com").String() {
+		t.Error("glue spans differ")
+	}
+	if db.DomainSpans("foo.com").String() != back.DomainSpans("foo.com").String() {
+		t.Error("domain spans differ")
+	}
+	if len(back.Zones()) != 2 {
+		t.Errorf("zones = %v", back.Zones())
+	}
+	if back.NSFirstSeen("dropthishost-z.biz") != d(30) {
+		t.Error("first-seen lost in round trip")
+	}
+}
+
+func TestArchiveRequiresClosedDB(t *testing.T) {
+	db := New()
+	db.DomainAdded("com", "x.com", d(1))
+	var buf bytes.Buffer
+	if err := db.WriteArchive(&buf); err == nil {
+		t.Fatal("unclosed DB should refuse to archive")
+	}
+}
+
+func TestArchiveErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong magic\n",
+		"dzdb 1\n", // missing close
+		"dzdb 1\nclose not-a-date\n",
+		"dzdb 1\nclose 2020-01-01\nD onlytwo 2020-01-01\n",
+		"dzdb 1\nclose 2020-01-01\nE a.com ns.b.com 2020-01-01\n",
+		"dzdb 1\nclose 2020-01-01\nQ what 2020-01-01 2020-01-02\n",
+		"dzdb 1\nclose 2020-01-01\nD -bad-.com 2020-01-01 2020-01-02\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadFrom(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadFrom(%q) should fail", in)
+		}
+	}
+}
+
+func dn(s string) dnsname.Name { return dnsname.Name(s) }

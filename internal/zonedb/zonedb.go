@@ -1,0 +1,347 @@
+// Package zonedb implements the study's longitudinal zone database — the
+// equivalent of CAIDA-DZDB built from nine years of daily TLD zone files.
+//
+// Rather than storing 3,400 daily snapshots, the DB records the day
+// intervals during which each zone-visible fact held: a delegation edge
+// (domain -> nameserver), a domain's registration, or a glue record. The
+// registry reports changes as they happen (registry.Recorder), and the DB
+// closes the affected interval; the result is bit-identical to diffing
+// daily snapshots at one-day granularity, at event cost instead of
+// snapshot cost. SnapshotOn reconstructs any single day's zone file.
+//
+// The DB deliberately exposes only zone-derivable queries. The detector is
+// built exclusively on this interface plus WHOIS, never on simulator
+// ground truth.
+package zonedb
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/dnszone"
+	"repro/internal/interval"
+)
+
+// Edge identifies a delegation edge in a zone.
+type Edge struct {
+	Domain dnsname.Name
+	NS     dnsname.Name
+}
+
+// docAddr stands in for glue addresses in reconstructed snapshots; the DB
+// retains glue presence, not the address bytes, which the methodology
+// never consults.
+var docAddr = netip.MustParseAddr("192.0.2.1")
+
+// DB is the longitudinal zone database. Create with New, feed it as a
+// registry.Recorder, then call Close before querying interval data.
+type DB struct {
+	edges     map[Edge]*interval.Set
+	openEdges map[Edge]dates.Day
+
+	domains     map[dnsname.Name]*interval.Set
+	openDomains map[dnsname.Name]dates.Day
+
+	glue     map[dnsname.Name]*interval.Set
+	openGlue map[dnsname.Name]dates.Day
+
+	// byNS and byDomain index edge keys for traversal.
+	byNS     map[dnsname.Name][]Edge
+	byDomain map[dnsname.Name][]Edge
+
+	// zoneDomains tracks which zone each domain was observed in (a domain
+	// name determines its zone, but keeping the set makes zone listing
+	// cheap).
+	zones map[dnsname.Name]bool
+
+	closed   bool
+	closeDay dates.Day
+}
+
+// newSet allocates an empty interval set (codec helper).
+func newSet() *interval.Set { return &interval.Set{} }
+
+// New returns an empty DB.
+func New() *DB {
+	return &DB{
+		edges:       make(map[Edge]*interval.Set),
+		openEdges:   make(map[Edge]dates.Day),
+		domains:     make(map[dnsname.Name]*interval.Set),
+		openDomains: make(map[dnsname.Name]dates.Day),
+		glue:        make(map[dnsname.Name]*interval.Set),
+		openGlue:    make(map[dnsname.Name]dates.Day),
+		byNS:        make(map[dnsname.Name][]Edge),
+		byDomain:    make(map[dnsname.Name][]Edge),
+		zones:       make(map[dnsname.Name]bool),
+	}
+}
+
+// DelegationAdded implements registry.Recorder.
+func (db *DB) DelegationAdded(zone, domain, ns dnsname.Name, day dates.Day) {
+	db.zones[zone] = true
+	e := Edge{Domain: domain, NS: ns}
+	if _, open := db.openEdges[e]; open {
+		return // duplicate add; ignore
+	}
+	if _, seen := db.edges[e]; !seen {
+		db.edges[e] = &interval.Set{}
+		db.byNS[ns] = append(db.byNS[ns], e)
+		db.byDomain[domain] = append(db.byDomain[domain], e)
+	}
+	db.openEdges[e] = day
+}
+
+// DelegationRemoved implements registry.Recorder. The edge was last
+// visible on day-1.
+func (db *DB) DelegationRemoved(zone, domain, ns dnsname.Name, day dates.Day) {
+	e := Edge{Domain: domain, NS: ns}
+	start, open := db.openEdges[e]
+	if !open {
+		return
+	}
+	delete(db.openEdges, e)
+	if day-1 >= start {
+		db.edges[e].Add(dates.NewRange(start, day-1))
+	}
+}
+
+// DomainAdded implements registry.Recorder.
+func (db *DB) DomainAdded(zone, domain dnsname.Name, day dates.Day) {
+	db.zones[zone] = true
+	if _, open := db.openDomains[domain]; open {
+		return
+	}
+	if _, seen := db.domains[domain]; !seen {
+		db.domains[domain] = &interval.Set{}
+	}
+	db.openDomains[domain] = day
+}
+
+// DomainRemoved implements registry.Recorder.
+func (db *DB) DomainRemoved(zone, domain dnsname.Name, day dates.Day) {
+	start, open := db.openDomains[domain]
+	if !open {
+		return
+	}
+	delete(db.openDomains, domain)
+	if day-1 >= start {
+		db.domains[domain].Add(dates.NewRange(start, day-1))
+	}
+}
+
+// GlueAdded implements registry.Recorder.
+func (db *DB) GlueAdded(zone, host dnsname.Name, day dates.Day) {
+	db.zones[zone] = true
+	if _, open := db.openGlue[host]; open {
+		return
+	}
+	if _, seen := db.glue[host]; !seen {
+		db.glue[host] = &interval.Set{}
+	}
+	db.openGlue[host] = day
+}
+
+// GlueRemoved implements registry.Recorder.
+func (db *DB) GlueRemoved(zone, host dnsname.Name, day dates.Day) {
+	start, open := db.openGlue[host]
+	if !open {
+		return
+	}
+	delete(db.openGlue, host)
+	if day-1 >= start {
+		db.glue[host].Add(dates.NewRange(start, day-1))
+	}
+}
+
+// Close ends observation on lastDay: every still-open fact is recorded as
+// present through lastDay. Queries return data as of the closed state.
+// Close may be called again with a later day after further events.
+func (db *DB) Close(lastDay dates.Day) {
+	for e, start := range db.openEdges {
+		if lastDay >= start {
+			db.edges[e].Add(dates.NewRange(start, lastDay))
+			db.openEdges[e] = lastDay + 1
+		}
+	}
+	for d, start := range db.openDomains {
+		if lastDay >= start {
+			db.domains[d].Add(dates.NewRange(start, lastDay))
+			db.openDomains[d] = lastDay + 1
+		}
+	}
+	for h, start := range db.openGlue {
+		if lastDay >= start {
+			db.glue[h].Add(dates.NewRange(start, lastDay))
+			db.openGlue[h] = lastDay + 1
+		}
+	}
+	db.closed = true
+	db.closeDay = lastDay
+}
+
+// EdgeSpans returns the presence intervals of a delegation edge, or nil.
+func (db *DB) EdgeSpans(domain, ns dnsname.Name) *interval.Set {
+	return db.edges[Edge{Domain: domain, NS: ns}]
+}
+
+// DomainSpans returns the registration intervals of a domain, or nil if
+// the domain was never observed.
+func (db *DB) DomainSpans(domain dnsname.Name) *interval.Set {
+	return db.domains[domain]
+}
+
+// GlueSpans returns the glue-presence intervals of a host, or nil.
+func (db *DB) GlueSpans(host dnsname.Name) *interval.Set {
+	return db.glue[host]
+}
+
+// DomainRegisteredOn reports whether domain was registered on day.
+func (db *DB) DomainRegisteredOn(domain dnsname.Name, day dates.Day) bool {
+	s, ok := db.domains[domain]
+	return ok && s.Contains(day)
+}
+
+// DomainFirstSeen returns the first day domain was observed registered,
+// or dates.None.
+func (db *DB) DomainFirstSeen(domain dnsname.Name) dates.Day {
+	s, ok := db.domains[domain]
+	if !ok {
+		return dates.None
+	}
+	return s.First()
+}
+
+// DomainFirstSeenAfter returns the first day >= from on which domain was
+// registered, or dates.None.
+func (db *DB) DomainFirstSeenAfter(domain dnsname.Name, from dates.Day) dates.Day {
+	s, ok := db.domains[domain]
+	if !ok {
+		return dates.None
+	}
+	return s.NextOnOrAfter(from)
+}
+
+// NSFirstSeen returns the first day any domain delegated to ns, or
+// dates.None if ns never appeared.
+func (db *DB) NSFirstSeen(ns dnsname.Name) dates.Day {
+	first := dates.None
+	for _, e := range db.byNS[ns] {
+		if f := db.edges[e].First(); f != dates.None && (first == dates.None || f < first) {
+			first = f
+		}
+	}
+	return first
+}
+
+// DomainsOf returns every domain that ever delegated to ns, sorted.
+func (db *DB) DomainsOf(ns dnsname.Name) []dnsname.Name {
+	edges := db.byNS[ns]
+	out := make([]dnsname.Name, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, e.Domain)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgesOf returns the delegation edges pointing at ns. The slice is owned
+// by the DB.
+func (db *DB) EdgesOf(ns dnsname.Name) []Edge { return db.byNS[ns] }
+
+// NSHistory returns every nameserver domain ever delegated to, with the
+// presence intervals of each edge.
+func (db *DB) NSHistory(domain dnsname.Name) map[dnsname.Name]*interval.Set {
+	out := make(map[dnsname.Name]*interval.Set)
+	for _, e := range db.byDomain[domain] {
+		out[e.NS] = db.edges[e]
+	}
+	return out
+}
+
+// NSOn returns the nameserver set of domain on day, sorted.
+func (db *DB) NSOn(domain dnsname.Name, day dates.Day) []dnsname.Name {
+	var out []dnsname.Name
+	for _, e := range db.byDomain[domain] {
+		if db.edges[e].Contains(day) {
+			out = append(out, e.NS)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nameservers calls fn for every nameserver name ever observed in a
+// delegation, in unspecified order, stopping if fn returns false.
+func (db *DB) Nameservers(fn func(ns dnsname.Name) bool) {
+	for ns := range db.byNS {
+		if !fn(ns) {
+			return
+		}
+	}
+}
+
+// Domains calls fn for every domain ever observed registered, in
+// unspecified order, stopping if fn returns false.
+func (db *DB) Domains(fn func(domain dnsname.Name) bool) {
+	for d := range db.domains {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// NumNameservers returns the number of distinct nameserver names ever
+// observed.
+func (db *DB) NumNameservers() int { return len(db.byNS) }
+
+// NumDomains returns the number of distinct domains ever observed.
+func (db *DB) NumDomains() int { return len(db.domains) }
+
+// Zones returns the observed zones, sorted.
+func (db *DB) Zones() []dnsname.Name {
+	out := make([]dnsname.Name, 0, len(db.zones))
+	for z := range db.zones {
+		out = append(out, z)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SnapshotOn reconstructs the zone file of one TLD on one day, as if the
+// daily snapshot had been archived.
+func (db *DB) SnapshotOn(zone dnsname.Name, day dates.Day) *dnszone.Snapshot {
+	snap := dnszone.NewSnapshot(zone, day)
+	perDomain := make(map[dnsname.Name][]dnsname.Name)
+	for e, spans := range db.edges {
+		if e.Domain.TLD() != zone {
+			continue
+		}
+		if spans.Contains(day) || db.openContains(db.openEdges[e], e, day) {
+			perDomain[e.Domain] = append(perDomain[e.Domain], e.NS)
+		}
+	}
+	for d, ns := range perDomain {
+		snap.AddDelegation(d, ns...)
+	}
+	// Glue addresses are not retained by the DB (only presence), so the
+	// snapshot records presence with a reserved-documentation address.
+	for h, spans := range db.glue {
+		if h.TLD() != zone {
+			continue
+		}
+		if spans.Contains(day) {
+			snap.AddGlue(h, docAddr)
+		}
+	}
+	snap.Sort()
+	return snap
+}
+
+func (db *DB) openContains(start dates.Day, e Edge, day dates.Day) bool {
+	if _, open := db.openEdges[e]; !open {
+		return false
+	}
+	return day >= start
+}

@@ -1,0 +1,116 @@
+// Package riskybiz reproduces "Risky BIZness: Risks Derived from
+// Registrar Name Management" (Akiwate, Savage, Voelker, Claffy; ACM IMC
+// 2021): the discovery that registrars, to delete expired domains whose
+// nameserver host objects are still referenced, rename those host objects
+// to (usually unregistered) names in foreign TLDs — sacrificial
+// nameservers — silently exposing every dependent domain to hijacking.
+//
+// The package is a facade over three layers:
+//
+//   - internal/sim: a deterministic ecosystem simulation (EPP
+//     repositories per RFC 5730-5732, registries, registrars with the
+//     documented renaming idioms, hijacker actors, the 2016 Namecheap
+//     accident, and the 2020-21 remediation campaign) standing in for
+//     the paper's nine years of CAIDA-DZDB zone files.
+//   - internal/detect: the paper's detection methodology, run only on
+//     zone-derivable data (candidate extraction, substring mining,
+//     original-nameserver matching, single-repository check).
+//   - internal/analysis: every table and figure of the evaluation.
+//
+// A minimal end-to-end run:
+//
+//	study, err := riskybiz.Run(riskybiz.Options{DomainsPerDay: 10})
+//	if err != nil { ... }
+//	t3 := study.Analysis.Table3()
+//	fmt.Printf("%.1f%% of hijackable domains were hijacked\n",
+//		100*t3.DomainFraction())
+package riskybiz
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dates"
+	"repro/internal/detect"
+	"repro/internal/sim"
+)
+
+// Options configures an end-to-end study.
+type Options struct {
+	// Seed selects the deterministic random stream (default 1).
+	Seed int64
+	// DomainsPerDay scales the simulated ecosystem (default 10).
+	DomainsPerDay float64
+	// DisableHijackers, DisableAccident, and DisableRemediation switch
+	// off scenario components (ablations).
+	DisableHijackers   bool
+	DisableAccident    bool
+	DisableRemediation bool
+	// UniformHijackers replaces degree-selective hijacker behaviour with
+	// a uniform coin flip (the Figure 5/6 ablation).
+	UniformHijackers bool
+	// InvalidTLDRemediation makes the notified registrars adopt the
+	// §7.3 reserved-TLD idiom (.invalid) instead of their historical
+	// sink choices.
+	InvalidTLDRemediation bool
+	// EPPCascadeFix enables the §7.3 EPP protocol change (cascade
+	// delete) from the notification date onward: no sacrificial
+	// nameserver can be created after it.
+	EPPCascadeFix bool
+	// Detector tunes the detection stage.
+	Detector detect.Config
+	// KeepAccidentNS includes the Namecheap-accident nameservers in the
+	// analyses instead of excluding them as the paper does.
+	KeepAccidentNS bool
+}
+
+// Study bundles the outcome of a full pipeline run.
+type Study struct {
+	World    *sim.World
+	Result   *detect.Result
+	Analysis *analysis.Analysis
+	// Window is the paper's measurement window (Apr 2011 - Sep 2020).
+	Window dates.Range
+}
+
+// Run simulates the ecosystem, runs detection, and prepares the analyses.
+func Run(opts Options) (*Study, error) {
+	if opts.DomainsPerDay <= 0 {
+		opts.DomainsPerDay = 10
+	}
+	cfg := sim.DefaultConfig(opts.DomainsPerDay)
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	cfg.Hijackers = !opts.DisableHijackers
+	cfg.Accident = !opts.DisableAccident
+	cfg.Remediation = !opts.DisableRemediation
+	cfg.UniformHijackers = opts.UniformHijackers
+	cfg.UseInvalidTLD = opts.InvalidTLDRemediation
+	if opts.EPPCascadeFix {
+		cfg.CascadeFixFrom = sim.NotificationDay
+	}
+
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("riskybiz: building world: %w", err)
+	}
+	if err := world.Run(); err != nil {
+		return nil, fmt.Errorf("riskybiz: simulating: %w", err)
+	}
+	det := &detect.Detector{
+		DB:    world.ZoneDB(),
+		WHOIS: world.WHOIS(),
+		Dir:   world.Directory(),
+		Cfg:   opts.Detector,
+	}
+	result := det.Run()
+
+	window := dates.NewRange(sim.WindowStart, sim.WindowEnd)
+	excludeNS := world.Truth().AccidentNS
+	if opts.KeepAccidentNS {
+		excludeNS = nil
+	}
+	an := analysis.New(result, world.ZoneDB(), window, excludeNS).WithWHOIS(world.WHOIS())
+	return &Study{World: world, Result: result, Analysis: an, Window: window}, nil
+}
