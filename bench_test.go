@@ -19,6 +19,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/dnsname"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -416,6 +417,48 @@ func BenchmarkPartialAnalysis(b *testing.B) {
 }
 
 var _ = analysis.NewCDF // keep the analysis import for documentation links
+
+// ---- Observability primitives ----
+
+// BenchmarkObsCounter measures the per-event cost of a hot-path counter
+// increment — the price every instrumented query/command/request pays.
+func BenchmarkObsCounter(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_events_total", "benchmark counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("counter = %d, want %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkObsCounterVec measures the labeled variant, including the
+// child lookup that the HTTP middleware and EPP server perform per event.
+func BenchmarkObsCounterVec(b *testing.B) {
+	reg := obs.NewRegistry()
+	vec := reg.CounterVec("bench_labeled_total", "benchmark labeled counter", "route", "class")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.With("/domains/{name}", "2xx").Inc()
+	}
+}
+
+// BenchmarkObsSpan measures a full start/end span cycle: two clock reads
+// plus a histogram observation and two counter increments.
+func BenchmarkObsSpan(b *testing.B) {
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := reg.StartSpan("bench.stage")
+		sp.AddItems(1)
+		sp.End()
+	}
+}
 
 // BenchmarkDetectionWorkers measures candidate extraction across worker
 // counts (stage 1 dominates detection cost). Results are identical at

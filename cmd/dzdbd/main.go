@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dzdbd [-addr :8053] [-scale 6] [-seed 1]
+//	dzdbd [-addr :8053] [-scale 6] [-seed 1] [-detect]
 //	dzdbd [-addr :8053] -load dataset.dzdb
 //
 // Then:
@@ -13,17 +13,29 @@
 //	curl http://localhost:8053/stats
 //	curl http://localhost:8053/domains/whitecounty.net
 //	curl http://localhost:8053/zones/com/snapshot?date=2016-07-15
+//	curl http://localhost:8053/metrics            # Prometheus exposition
+//	go tool pprof http://localhost:8053/debug/pprof/profile
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/detect"
 	"repro/internal/dzdbapi"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/whois"
 	"repro/internal/zonedb"
 )
 
@@ -32,39 +44,90 @@ func main() {
 	scale := flag.Float64("scale", 6, "mean new registrations per day (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	load := flag.String("load", "", "load a zone-database archive instead of simulating")
+	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
 	flag.Parse()
 
+	logger := obs.NewLogger("dzdbd")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+	reg := obs.Default
+	detect.RegisterMetrics(reg)
+
 	var db *zonedb.DB
+	who := whois.New()
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
-			log.Fatalf("dzdbd: %v", err)
+			fatal("opening archive", err)
 		}
 		db, err = zonedb.ReadFrom(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("dzdbd: %v", err)
+			fatal("reading archive", err)
 		}
-		fmt.Printf("dzdbd: loaded %s: %d domains, %d nameservers\n",
-			*load, db.NumDomains(), db.NumNameservers())
+		logger.Info("archive loaded", "path", *load,
+			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
 	} else {
 		cfg := sim.DefaultConfig(*scale)
 		cfg.Seed = *seed
 		world, err := sim.NewWorld(cfg)
 		if err != nil {
-			log.Fatalf("dzdbd: %v", err)
+			fatal("building world", err)
 		}
-		fmt.Printf("dzdbd: simulating %s..%s at %.0f registrations/day...\n",
-			cfg.Start, cfg.End, *scale)
+		logger.Info("simulating", "start", cfg.Start.String(), "end", cfg.End.String(), "scale", *scale)
 		if err := world.Run(); err != nil {
-			log.Fatalf("dzdbd: %v", err)
+			fatal("simulating", err)
 		}
 		db = world.ZoneDB()
-		fmt.Printf("dzdbd: %d domains, %d nameservers observed\n",
-			db.NumDomains(), db.NumNameservers())
+		who = world.WHOIS()
+		logger.Info("simulation complete",
+			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
 	}
-	fmt.Printf("dzdbd: serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, dzdbapi.New(db)); err != nil {
-		log.Fatalf("dzdbd: %v", err)
+
+	if *runDetect {
+		det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory(), Obs: reg,
+			Cfg: detect.Config{SkipMining: true}}
+		res := det.Run()
+		logger.Info("detection pipeline primed",
+			"sacrificial", res.Funnel.Sacrificial,
+			"wall", res.Stats.Wall.Round(time.Millisecond).String())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", dzdbapi.NewWithRegistry(db, reg))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		fatal("serving", err)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "reason", "signal")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("shutdown", err)
+		}
+		logger.Info("stopped")
 	}
 }

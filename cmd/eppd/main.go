@@ -6,18 +6,30 @@
 // Usage:
 //
 //	eppd [-addr :7700] [-registry Verisign] [-tlds com,net,edu,gov] [-date 2020-09-15]
+//	     [-metrics :7701]
+//
+// With -metrics set, per-command counters, session gauges, and pprof
+// profiles are served over HTTP (GET /metrics, /debug/pprof/*). The
+// process shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/eppserver"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -26,32 +38,84 @@ func main() {
 	name := flag.String("registry", "Verisign", "registry operator name")
 	tlds := flag.String("tlds", "com,net,edu,gov", "comma-separated TLDs in the repository")
 	date := flag.String("date", "2020-09-15", "server clock date (YYYY-MM-DD)")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
 	flag.Parse()
+
+	logger := obs.NewLogger("eppd")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	day, err := dates.Parse(*date)
 	if err != nil {
-		log.Fatalf("eppd: %v", err)
+		fatal("bad -date", err)
 	}
 	var zones []dnsname.Name
 	for _, t := range strings.Split(*tlds, ",") {
 		z, err := dnsname.Parse(strings.TrimSpace(t))
 		if err != nil {
-			log.Fatalf("eppd: bad tld %q: %v", t, err)
+			fatal("bad tld "+t, err)
 		}
 		zones = append(zones, z)
 	}
 	reg := registry.New(*name, nil, zones...)
 	srv := eppserver.New(reg)
 	srv.Clock = func() dates.Day { return day }
-	srv.Logf = log.Printf
+	srv.Log = logger
+	srv.Obs = obs.Default
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.Default.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		metricsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener", "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", *metricsAddr)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("eppd: %v", err)
+		fatal("listen", err)
 	}
-	fmt.Printf("eppd: %s repository (%s) serving EPP on %s, clock %s\n",
-		*name, *tlds, ln.Addr(), day)
-	if err := srv.Serve(ln); err != nil {
-		log.Fatalf("eppd: %v", err)
+	logger.Info("serving EPP",
+		"registry", *name, "tlds", *tlds, "addr", ln.Addr().String(), "clock", day.String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			fatal("serving", err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "reason", "signal")
+		if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			logger.Error("close", "err", err)
+		}
 	}
+	if metricsSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(shutCtx)
+	}
+	logger.Info("stopped")
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	riskybiz [-scale N] [-seed S] [-only table3,figure6] [-csv]
-//	         [-save-data PREFIX] [-figures-csv DIR]
+//	         [-save-data PREFIX] [-figures-csv DIR] [-stats] [-stats-json FILE]
 package main
 
 import (
@@ -17,9 +17,20 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
+
+var logger = obs.NewLogger("riskybiz")
+
+// fatalf logs the formatted message through the structured logger and
+// exits — the single error path for the command.
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 func main() {
 	scale := flag.Float64("scale", 12, "mean new domain registrations per simulated day")
@@ -29,32 +40,38 @@ func main() {
 	saveData := flag.String("save-data", "", "after simulating, archive the dataset to PREFIX.dzdb / PREFIX.whois / PREFIX.exclude")
 	figuresCSV := flag.String("figures-csv", "", "write per-figure CSV data files into this directory")
 	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON instead of text artifacts")
+	stats := flag.Bool("stats", false, "print a detection stage-timing report to stderr")
+	statsJSON := flag.String("stats-json", "", "also dump the stage timings as JSON to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	study, err := riskybiz.Run(riskybiz.Options{Seed: *seed, DomainsPerDay: *scale})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskybiz:", err)
-		os.Exit(1)
+		fatalf("run: %v", err)
+	}
+	if *stats {
+		study.Result.Stats.WriteReport(os.Stderr)
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(study.Result.Stats, *statsJSON); err != nil {
+			fatalf("writing -stats-json: %v", err)
+		}
 	}
 	if *saveData != "" {
 		if err := saveDataset(study, *saveData); err != nil {
-			fmt.Fprintln(os.Stderr, "riskybiz:", err)
-			os.Exit(1)
+			fatalf("saving dataset: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset archived under %s.{dzdb,whois,exclude}\n", *saveData)
 	}
 	if *figuresCSV != "" {
 		if err := writeFigureCSVs(study, *figuresCSV); err != nil {
-			fmt.Fprintln(os.Stderr, "riskybiz:", err)
-			os.Exit(1)
+			fatalf("writing figure CSVs: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *figuresCSV)
 	}
 	if *jsonOut {
 		summary := study.Analysis.Summarize(sim.NotificationDay, sim.FollowupDay)
 		if err := summary.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "riskybiz:", err)
-			os.Exit(1)
+			fatalf("writing summary: %v", err)
 		}
 		return
 	}
@@ -69,6 +86,22 @@ func main() {
 		opts.Only = strings.Split(*only, ",")
 	}
 	report.PrintArtifacts(os.Stdout, study.Analysis, study.Result, opts)
+}
+
+// writeStatsJSON dumps stage timings to path ("-" selects stderr).
+func writeStatsJSON(stats *detect.RunStats, path string) error {
+	if path == "-" {
+		return stats.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stats.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFigureCSVs emits the raw series behind every figure so they can

@@ -7,6 +7,7 @@
 //
 //	riskybiz -scale 12 -save-data dataset
 //	riskydetect -data dataset [-only table3,figure6] [-csv]
+//	            [-workers N] [-stats] [-stats-json FILE]
 package main
 
 import (
@@ -20,11 +21,21 @@ import (
 	"repro/internal/dates"
 	"repro/internal/detect"
 	"repro/internal/dnsname"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/whois"
 	"repro/internal/zonedb"
 )
+
+var logger = obs.NewLogger("riskydetect")
+
+// fatalf logs the formatted message through the structured logger and
+// exits — the single error path for the command.
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 func main() {
 	data := flag.String("data", "dataset", "archive prefix (PREFIX.dzdb, PREFIX.whois, optional PREFIX.exclude)")
@@ -33,36 +44,44 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON")
 	windowStart := flag.String("window-start", "2011-04-01", "analysis window start")
 	windowEnd := flag.String("window-end", "2020-09-30", "analysis window end")
+	workers := flag.Int("workers", 0, "candidate-extraction workers (0 = sequential)")
+	stats := flag.Bool("stats", false, "print a pipeline stage-timing report to stderr")
+	statsJSON := flag.String("stats-json", "", "also dump the stage timings as JSON to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	db, who, exclude, err := loadDataset(*data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskydetect:", err)
-		os.Exit(1)
+		fatalf("loading dataset: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: %d domains, %d nameservers, %d excluded NS\n",
-		*data, db.NumDomains(), db.NumNameservers(), len(exclude))
+	logger.Info("dataset loaded", "prefix", *data,
+		"domains", db.NumDomains(), "nameservers", db.NumNameservers(), "excluded_ns", len(exclude))
 
 	first, err := dates.Parse(*windowStart)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskydetect:", err)
-		os.Exit(1)
+		fatalf("bad -window-start: %v", err)
 	}
 	last, err := dates.Parse(*windowEnd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskydetect:", err)
-		os.Exit(1)
+		fatalf("bad -window-end: %v", err)
 	}
 
-	det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory()}
+	det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory(),
+		Cfg: detect.Config{Workers: *workers}, Obs: obs.Default}
 	res := det.Run()
+	if *stats {
+		res.Stats.WriteReport(os.Stderr)
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(res.Stats, *statsJSON); err != nil {
+			fatalf("writing -stats-json: %v", err)
+		}
+	}
 	an := analysis.New(res, db, dates.NewRange(first, last), exclude).WithWHOIS(who)
 
 	if *jsonOut {
 		summary := an.Summarize(sim.NotificationDay, sim.FollowupDay)
 		if err := summary.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "riskydetect:", err)
-			os.Exit(1)
+			fatalf("writing summary: %v", err)
 		}
 		return
 	}
@@ -77,6 +96,22 @@ func main() {
 		opts.Only = strings.Split(*only, ",")
 	}
 	report.PrintArtifacts(os.Stdout, an, res, opts)
+}
+
+// writeStatsJSON dumps stage timings to path ("-" selects stderr).
+func writeStatsJSON(stats *detect.RunStats, path string) error {
+	if path == "-" {
+		return stats.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stats.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadDataset(prefix string) (*zonedb.DB, *whois.History, []dnsname.Name, error) {

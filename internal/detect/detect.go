@@ -3,11 +3,13 @@ package detect
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/idioms"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/resolve"
 	"repro/internal/whois"
@@ -106,6 +108,10 @@ type Result struct {
 	Patterns    []Pattern
 	Sacrificial []Sacrificial
 
+	// Stats holds the run's stage timings (nil for results assembled
+	// via NewResult rather than produced by Detector.Run).
+	Stats *RunStats
+
 	// byNS indexes Sacrificial by nameserver name.
 	byNS map[dnsname.Name]int
 }
@@ -134,6 +140,39 @@ type Detector struct {
 	WHOIS *whois.History
 	Dir   *registry.Directory
 	Cfg   Config
+	// Obs, when non-nil, receives stage spans and funnel counters
+	// (RegisterMetrics pre-creates the families). Stage timings are
+	// collected in Result.Stats either way.
+	Obs *obs.Registry
+}
+
+// clock returns the time source: the obs registry's (overridable in
+// tests) when present, else the wall clock. Timings never influence
+// detection results, so determinism of the methodology is preserved.
+func (d *Detector) clock() func() time.Time {
+	if d.Obs != nil && d.Obs.Now != nil {
+		return d.Obs.Now
+	}
+	return time.Now
+}
+
+// stage runs fn as one named pipeline stage: it times it, records an
+// obs span (when a registry is wired), and appends a StageTiming. fn
+// returns the number of items the stage processed.
+func (d *Detector) stage(stats *RunStats, name string, fn func() int) {
+	now := d.clock()
+	var sp *obs.Span
+	if d.Obs != nil {
+		sp = d.Obs.StartSpan(name)
+	}
+	t0 := now()
+	n := fn()
+	dur := now().Sub(t0)
+	if sp != nil {
+		sp.AddItems(n)
+		sp.End()
+	}
+	stats.Stages = append(stats.Stages, StageTiming{Stage: name, Duration: dur, Items: n})
 }
 
 // candidate is one unresolvable-at-first-reference nameserver.
@@ -143,8 +182,10 @@ type candidate struct {
 }
 
 // extractCandidates runs stage 1 (§3.2.1) over every observed
-// nameserver, optionally in parallel.
-func (d *Detector) extractCandidates() (total int, candidates []candidate) {
+// nameserver, optionally in parallel. busy holds each worker's busy
+// time (one entry in sequential mode) for the utilization report.
+func (d *Detector) extractCandidates() (total int, candidates []candidate, busy []time.Duration) {
+	now := d.clock()
 	var all []dnsname.Name
 	d.DB.Nameservers(func(ns dnsname.Name) bool {
 		all = append(all, ns)
@@ -153,22 +194,26 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate) {
 	total = len(all)
 	workers := d.Cfg.Workers
 	if workers <= 1 {
+		t0 := now()
 		static := resolve.NewStatic(d.DB)
 		for _, ns := range all {
 			if bad, first := static.UnresolvableAtFirstReference(ns); bad {
 				candidates = append(candidates, candidate{ns, first})
 			}
 		}
+		busy = []time.Duration{now().Sub(t0)}
 	} else {
 		// Shard the nameserver list; each worker owns a resolver (the
 		// memo is not concurrency-safe, and sharing one would not help:
 		// resolution chains rarely cross shards).
 		var wg sync.WaitGroup
 		results := make([][]candidate, workers)
+		busy = make([]time.Duration, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				t0 := now()
 				static := resolve.NewStatic(d.DB)
 				var mine []candidate
 				for i := w; i < len(all); i += workers {
@@ -178,6 +223,7 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate) {
 					}
 				}
 				results[w] = mine
+				busy[w] = now().Sub(t0)
 			}(w)
 		}
 		wg.Wait()
@@ -186,57 +232,98 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate) {
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ns < candidates[j].ns })
-	return total, candidates
+	return total, candidates, busy
 }
 
 // Run executes the full methodology.
 func (d *Detector) Run() *Result {
+	now := d.clock()
+	start := now()
 	res := &Result{byNS: make(map[dnsname.Name]int)}
+	stats := &RunStats{Workers: 1, MatchesByMethod: make(map[string]int)}
+	if d.Cfg.Workers > 1 {
+		stats.Workers = d.Cfg.Workers
+	}
 
 	// Stage 1: unresolvable-at-first-reference candidates.
-	total, candidates := d.extractCandidates()
-	res.Funnel.TotalNameservers = total
+	var candidates []candidate
+	d.stage(stats, StageExtract, func() int {
+		var total int
+		total, candidates, stats.WorkerBusy = d.extractCandidates()
+		res.Funnel.TotalNameservers = total
+		return total
+	})
 	res.Funnel.Candidates = len(candidates)
 
 	// Stage 2a: mine patterns (reporting; classification uses the
 	// confirmed catalog, as the paper confirmed idioms with registrars).
 	if !d.Cfg.SkipMining {
-		names := make([]dnsname.Name, len(candidates))
-		for i, c := range candidates {
-			names[i] = c.ns
-		}
-		res.Patterns = MineSubstrings(names, d.Cfg.Miner)
+		d.stage(stats, StageMine, func() int {
+			names := make([]dnsname.Name, len(candidates))
+			for i, c := range candidates {
+				names[i] = c.ns
+			}
+			res.Patterns = MineSubstrings(names, d.Cfg.Miner)
+			return len(candidates)
+		})
 	}
 
-	for _, c := range candidates {
-		// Stage 2b: remove registry test nameservers.
-		if idioms.IsTestNameserver(c.ns) {
-			res.Funnel.TestNameservers++
-			continue
+	d.stage(stats, StageClassify, func() int {
+		for _, c := range candidates {
+			// Stage 2b: remove registry test nameservers.
+			if idioms.IsTestNameserver(c.ns) {
+				res.Funnel.TestNameservers++
+				continue
+			}
+			// Sink and marker idioms classify directly.
+			if idiom, ok := idioms.RecognizeSink(c.ns); ok {
+				d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
+				stats.MatchesByMethod["sink"]++
+				continue
+			}
+			if idiom, ok := idioms.RecognizeMarker(c.ns); ok {
+				d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
+				stats.MatchesByMethod["marker"]++
+				continue
+			}
+			// Stage 3: single-repository property.
+			if !d.Cfg.SkipSingleRepoCheck && d.violatesSingleRepo(c.ns) {
+				res.Funnel.SingleRepoViolations++
+				continue
+			}
+			// Stage 4: original-nameserver history match.
+			if idiom, registrarName, orig, ok := d.matchOriginal(c.ns, c.first); ok {
+				d.emit(res, c.ns, c.first, idiom, registrarName, orig)
+				stats.MatchesByMethod["original"]++
+				continue
+			}
+			res.Funnel.Unclassified++
 		}
-		// Sink and marker idioms classify directly.
-		if idiom, ok := idioms.RecognizeSink(c.ns); ok {
-			d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
-			continue
-		}
-		if idiom, ok := idioms.RecognizeMarker(c.ns); ok {
-			d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
-			continue
-		}
-		// Stage 3: single-repository property.
-		if !d.Cfg.SkipSingleRepoCheck && d.violatesSingleRepo(c.ns) {
-			res.Funnel.SingleRepoViolations++
-			continue
-		}
-		// Stage 4: original-nameserver history match.
-		if idiom, registrarName, orig, ok := d.matchOriginal(c.ns, c.first); ok {
-			d.emit(res, c.ns, c.first, idiom, registrarName, orig)
-			continue
-		}
-		res.Funnel.Unclassified++
-	}
+		return len(candidates)
+	})
 	res.Funnel.Sacrificial = len(res.Sacrificial)
+	stats.Wall = now().Sub(start)
+	stats.Funnel = res.Funnel
+	res.Stats = stats
+	d.recordFunnel(stats)
 	return res
+}
+
+// recordFunnel mirrors the funnel counts into the obs registry.
+func (d *Detector) recordFunnel(stats *RunStats) {
+	if d.Obs == nil {
+		return
+	}
+	f := stats.Funnel
+	d.Obs.Counter(MetricScanned, "").Add(f.TotalNameservers)
+	d.Obs.Counter(MetricCandidates, "").Add(f.Candidates)
+	d.Obs.Counter(MetricTestNS, "").Add(f.TestNameservers)
+	d.Obs.Counter(MetricSingleRepo, "").Add(f.SingleRepoViolations)
+	d.Obs.Counter(MetricUnclass, "").Add(f.Unclassified)
+	d.Obs.Counter(MetricSacrificial, "").Add(f.Sacrificial)
+	for method, n := range stats.MatchesByMethod {
+		d.Obs.CounterVec(MetricIdiom, "", "method").With(method).Add(n)
+	}
 }
 
 // violatesSingleRepo applies property 3 of §3.1: the candidate cannot be

@@ -1,0 +1,138 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Stage names recorded by Detector.Run, reused as the obs span stage
+// labels.
+const (
+	StageExtract  = "detect.extract"
+	StageMine     = "detect.mine"
+	StageClassify = "detect.classify"
+)
+
+// Detector counter metric names (registered on the detector's obs
+// registry; see RegisterMetrics).
+const (
+	MetricCandidates  = "detect_candidates_total"
+	MetricScanned     = "detect_nameservers_scanned_total"
+	MetricTestNS      = "detect_test_ns_eliminations_total"
+	MetricSingleRepo  = "detect_single_repo_eliminations_total"
+	MetricIdiom       = "detect_idiom_matches_total"
+	MetricUnclass     = "detect_unclassified_total"
+	MetricSacrificial = "detect_sacrificial_total"
+)
+
+// StageTiming is one pipeline stage's wall time and throughput.
+type StageTiming struct {
+	Stage    string        `json:"stage"`
+	Duration time.Duration `json:"nanoseconds"`
+	Items    int           `json:"items"`
+}
+
+// Rate returns items per second (zero when the stage was too fast to
+// time).
+func (t StageTiming) Rate() float64 {
+	if t.Duration <= 0 {
+		return 0
+	}
+	return float64(t.Items) / t.Duration.Seconds()
+}
+
+// RunStats is the timing side of one Detector.Run: what `-stats`
+// reports and later perf PRs measure themselves against.
+type RunStats struct {
+	Wall   time.Duration `json:"wall_nanoseconds"`
+	Stages []StageTiming `json:"stages"`
+	// Workers is the extraction worker count actually used (>= 1).
+	Workers int `json:"workers"`
+	// WorkerBusy holds each extraction worker's busy time; with one
+	// worker it equals the extract stage duration.
+	WorkerBusy []time.Duration `json:"worker_busy_nanoseconds"`
+	// MatchesByMethod counts classifications by match method (sink,
+	// marker, original).
+	MatchesByMethod map[string]int `json:"matches_by_method"`
+	Funnel          Funnel         `json:"funnel"`
+}
+
+// Stage returns the named stage's timing, or a zero value.
+func (s *RunStats) Stage(name string) StageTiming {
+	for _, st := range s.Stages {
+		if st.Stage == name {
+			return st
+		}
+	}
+	return StageTiming{Stage: name}
+}
+
+// WorkerUtilization returns mean worker busy-fraction during the
+// extraction stage: 1.0 means every worker was busy the whole stage,
+// lower values mean shard imbalance or spawn overhead.
+func (s *RunStats) WorkerUtilization() float64 {
+	extract := s.Stage(StageExtract).Duration
+	if extract <= 0 || len(s.WorkerBusy) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, d := range s.WorkerBusy {
+		busy += d
+	}
+	return busy.Seconds() / (extract.Seconds() * float64(len(s.WorkerBusy)))
+}
+
+// WriteReport prints the human-readable stage-timing report.
+func (s *RunStats) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "detection pipeline: %s wall, %d workers, %.1f%% worker utilization\n",
+		s.Wall.Round(time.Microsecond), s.Workers, 100*s.WorkerUtilization())
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  stage\ttime\titems\titems/s")
+	for _, st := range s.Stages {
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%.0f\n",
+			st.Stage, st.Duration.Round(time.Microsecond), st.Items, st.Rate())
+	}
+	tw.Flush()
+	f := s.Funnel
+	fmt.Fprintf(w, "  funnel: %d nameservers -> %d candidates; -%d test, -%d single-repo, -%d unclassified -> %d sacrificial\n",
+		f.TotalNameservers, f.Candidates, f.TestNameservers, f.SingleRepoViolations, f.Unclassified, f.Sacrificial)
+	if len(s.MatchesByMethod) > 0 {
+		methods := make([]string, 0, len(s.MatchesByMethod))
+		for m := range s.MatchesByMethod {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		fmt.Fprint(w, "  matches:")
+		for _, m := range methods {
+			fmt.Fprintf(w, " %s=%d", m, s.MatchesByMethod[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteJSON dumps the stats as one JSON object.
+func (s *RunStats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// RegisterMetrics pre-creates the detector's metric families (and the
+// shared span families) on reg, so a /metrics scrape announces the
+// schema even before a detection run has executed.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterSpanFamilies()
+	reg.Counter(MetricScanned, "Nameservers scanned by candidate extraction.")
+	reg.Counter(MetricCandidates, "Unresolvable-at-first-reference candidates.")
+	reg.Counter(MetricTestNS, "Candidates eliminated as registry test nameservers.")
+	reg.Counter(MetricSingleRepo, "Candidates eliminated by the single-repository check.")
+	reg.CounterVec(MetricIdiom, "Sacrificial nameservers classified, by match method.", "method")
+	reg.Counter(MetricUnclass, "Candidates left unclassified.")
+	reg.Counter(MetricSacrificial, "Sacrificial nameservers detected.")
+}

@@ -15,6 +15,15 @@ import (
 
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
+)
+
+// Metric names recorded when the server is instrumented.
+const (
+	MetricQueries   = "dns_queries_total"
+	MetricResponses = "dns_responses_total"
+	MetricDropped   = "dns_dropped_total"
+	MetricErrors    = "dns_errors_total"
 )
 
 // Policy decides whether a query may be answered. Queries it rejects
@@ -58,6 +67,21 @@ type Server struct {
 	// ones); the experiment uses it to observe incoming resolution
 	// attempts without answering them.
 	QueryLog func(q dnswire.Question, from netip.AddrPort)
+
+	// obs metric handles, nil until Instrument is called.
+	mQueries   *obs.Counter
+	mDropped   *obs.Counter
+	mErrors    *obs.Counter
+	mResponses *obs.CounterVec // by response code
+}
+
+// Instrument mirrors the server's activity counters into reg, with
+// responses broken down by DNS response code. Call before Serve.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.mQueries = reg.Counter(MetricQueries, "DNS queries received.")
+	s.mDropped = reg.Counter(MetricDropped, "Queries dropped by the answer policy.")
+	s.mErrors = reg.Counter(MetricErrors, "Malformed queries and send failures.")
+	s.mResponses = reg.CounterVec(MetricResponses, "DNS responses sent, by response code.", "rcode")
 }
 
 type recordKey struct {
@@ -150,7 +174,9 @@ func (s *Server) zoneFor(name dnsname.Name) dnsname.Name {
 // Serve reads queries from pc until Close. It always returns a non-nil
 // error (net.ErrClosed after Close).
 func (s *Server) Serve(pc net.PacketConn) error {
+	s.mu.Lock()
 	s.pc = pc
+	s.mu.Unlock()
 	buf := make([]byte, 4096)
 	for {
 		n, from, err := pc.ReadFrom(buf)
@@ -167,7 +193,7 @@ func (s *Server) Serve(pc net.PacketConn) error {
 		resp := s.handleWire(buf[:n], addrPortOf(from), true)
 		if resp != nil {
 			if _, err := pc.WriteTo(resp, from); err != nil {
-				s.Stats.Errors.Add(1)
+				s.countError()
 			}
 		}
 	}
@@ -237,12 +263,12 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	var first error
-	if s.pc != nil {
-		first = s.pc.Close()
-	}
 	s.mu.Lock()
-	ln := s.ln
+	pc, ln := s.pc, s.ln
 	s.mu.Unlock()
+	if pc != nil {
+		first = pc.Close()
+	}
 	if ln != nil {
 		if err := ln.Close(); err != nil && first == nil {
 			first = err
@@ -267,11 +293,14 @@ func addrPortOf(addr net.Addr) netip.AddrPort {
 func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
 	msg, err := dnswire.Decode(wire)
 	if err != nil || msg.Header.Response || len(msg.Questions) != 1 {
-		s.Stats.Errors.Add(1)
+		s.countError()
 		return nil
 	}
 	q := msg.Questions[0]
 	s.Stats.Queries.Add(1)
+	if s.mQueries != nil {
+		s.mQueries.Inc()
+	}
 	if s.QueryLog != nil {
 		s.QueryLog(q, from)
 	}
@@ -281,6 +310,9 @@ func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
 	s.mu.RUnlock()
 	if !policy(q, from) {
 		s.Stats.Dropped.Add(1)
+		if s.mDropped != nil {
+			s.mDropped.Inc()
+		}
 		return nil
 	}
 
@@ -323,11 +355,22 @@ func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
 		out, err = dnswire.Encode(resp)
 	}
 	if err != nil {
-		s.Stats.Errors.Add(1)
+		s.countError()
 		return nil
 	}
 	s.Stats.Answered.Add(1)
+	if s.mResponses != nil {
+		s.mResponses.With(resp.Header.RCode.String()).Inc()
+	}
 	return out
+}
+
+// countError bumps both the legacy stats block and the obs counter.
+func (s *Server) countError() {
+	s.Stats.Errors.Add(1)
+	if s.mErrors != nil {
+		s.mErrors.Inc()
+	}
 }
 
 // nameExistsLocked reports whether any record type exists at name.

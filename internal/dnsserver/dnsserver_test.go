@@ -6,11 +6,13 @@ import (
 	"context"
 	"net"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/resolve"
 )
 
@@ -122,12 +124,44 @@ func TestPrefixPolicy(t *testing.T) {
 }
 
 func TestQueryLogSeesDroppedQueries(t *testing.T) {
-	srv, stub := startServer(t, func(dnswire.Question, netip.AddrPort) bool { return false })
+	// Build the server by hand so QueryLog is installed before the
+	// serve goroutine starts (the field is read without locking).
+	srv := New(func(dnswire.Question, netip.AddrPort) bool { return false })
+	var mu sync.Mutex
 	var seen []dnsname.Name
-	srv.QueryLog = func(q dnswire.Question, _ netip.AddrPort) { seen = append(seen, q.Name) }
+	srv.QueryLog = func(q dnswire.Question, _ netip.AddrPort) {
+		mu.Lock()
+		seen = append(seen, q.Name)
+		mu.Unlock()
+	}
+	srv.AddZone("victim.edu")
+	if err := srv.AddA(dnsname.Join("www", "victim.edu"), netip.MustParseAddr("198.51.100.98")); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(pc) }()
+	t.Cleanup(func() { srv.Close() })
+	stub := &resolve.Stub{Server: pc.LocalAddr().String(), Timeout: 250 * time.Millisecond, Retries: 1}
+
 	_, _ = stub.LookupA(ctx(t), "www.victim.edu")
-	if len(seen) == 0 || seen[0] != "www.victim.edu" {
-		t.Fatalf("query log = %v", seen)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		logged := append([]dnsname.Name(nil), seen...)
+		mu.Unlock()
+		if len(logged) > 0 {
+			if logged[0] != "www.victim.edu" {
+				t.Fatalf("query log = %v", logged)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query log never received the dropped query")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -269,5 +303,41 @@ func TestEDNS0LargeUDPAnswer(t *testing.T) {
 	}
 	if !hasOPT {
 		t.Error("response missing OPT record")
+	}
+}
+
+// TestInstrumentedCounters checks the obs mirror of the stats block,
+// including the per-rcode response breakdown.
+func TestInstrumentedCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(nil)
+	srv.Instrument(reg)
+	srv.AddZone("victim.edu")
+	if err := srv.AddA("victim.edu", netip.MustParseAddr("198.51.100.99")); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(pc) }()
+	t.Cleanup(func() { srv.Close() })
+	stub := &resolve.Stub{Server: pc.LocalAddr().String(), Timeout: 250 * time.Millisecond, Retries: 1}
+
+	if _, err := stub.LookupA(ctx(t), "victim.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.LookupA(ctx(t), "ghost.victim.edu"); err == nil {
+		t.Fatal("expected NXDOMAIN")
+	}
+	if got := reg.Counter(MetricQueries, "").Value(); got != 2 {
+		t.Errorf("queries = %d, want 2", got)
+	}
+	responses := reg.CounterVec(MetricResponses, "", "rcode")
+	if got := responses.With("NOERROR").Value(); got != 1 {
+		t.Errorf("NOERROR responses = %d, want 1", got)
+	}
+	if got := responses.With("NXDOMAIN").Value(); got != 1 {
+		t.Errorf("NXDOMAIN responses = %d, want 1", got)
 	}
 }

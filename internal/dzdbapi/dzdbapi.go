@@ -25,7 +25,14 @@ import (
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/zonedb"
+)
+
+// Metric names recorded by the request middleware.
+const (
+	MetricRequests       = "dzdb_http_requests_total"
+	MetricRequestSeconds = "dzdb_http_request_seconds"
 )
 
 // Span is one presence interval in API form.
@@ -90,19 +97,74 @@ type StatsResponse struct {
 // Server serves a closed zonedb.DB. The DB must not be mutated while
 // serving.
 type Server struct {
-	db  *zonedb.DB
-	mux *http.ServeMux
+	db       *zonedb.DB
+	mux      *http.ServeMux
+	obs      *obs.Registry
+	requests *obs.CounterVec   // MetricRequests{route,class}
+	latency  *obs.HistogramVec // MetricRequestSeconds{route}
 }
 
-// New builds the API server for db.
+// New builds the API server for db with its own private metrics
+// registry (retrievable via Metrics).
 func New(db *zonedb.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /zones", s.handleZones)
-	s.mux.HandleFunc("GET /domains/{name}", s.handleDomain)
-	s.mux.HandleFunc("GET /nameservers/{name}", s.handleNameserver)
-	s.mux.HandleFunc("GET /zones/{zone}/snapshot", s.handleSnapshot)
+	return NewWithRegistry(db, obs.NewRegistry())
+}
+
+// NewWithRegistry builds the API server recording request metrics into
+// reg — what dzdbd uses to fold API metrics into its /metrics registry.
+func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), obs: reg}
+	s.requests = reg.CounterVec(MetricRequests,
+		"API requests by route and status class.", "route", "class")
+	s.latency = reg.HistogramVec(MetricRequestSeconds,
+		"API request latency by route.", nil, "route")
+	s.handle("GET /stats", "/stats", s.handleStats)
+	s.handle("GET /zones", "/zones", s.handleZones)
+	s.handle("GET /domains/{name}", "/domains/{name}", s.handleDomain)
+	s.handle("GET /nameservers/{name}", "/nameservers/{name}", s.handleNameserver)
+	s.handle("GET /zones/{zone}/snapshot", "/zones/{zone}/snapshot", s.handleSnapshot)
 	return s
+}
+
+// Metrics returns the registry the request middleware records into.
+func (s *Server) Metrics() *obs.Registry { return s.obs }
+
+// handle mounts handler at pattern behind the metrics middleware. The
+// route label is the pattern without the method so label cardinality is
+// bounded by the route table, never by client input.
+func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := s.obs.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		handler(sw, r)
+		s.requests.With(route, statusClass(sw.status)).Inc()
+		s.latency.With(route).Observe(s.obs.Now().Sub(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// statusClass buckets a status code ("2xx", "4xx", ...).
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
 }
 
 // ServeHTTP implements http.Handler.

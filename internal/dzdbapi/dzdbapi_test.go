@@ -132,3 +132,55 @@ func TestSnapshotEndpoint(t *testing.T) {
 		t.Error("unknown zone should 404")
 	}
 }
+
+// TestMiddlewareRecordsRequests drives real requests through the server
+// and checks each lands exactly one observation under its route pattern
+// (not the raw URL) with the right status class.
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Domain("whitecounty.net"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Domain("ghost.com"); err == nil {
+		t.Fatal("expected 404")
+	}
+
+	reg := srv.Metrics()
+	requests := reg.CounterVec(MetricRequests, "", "route", "class")
+	if got := requests.With("/stats", "2xx").Value(); got != 1 {
+		t.Errorf("stats 2xx = %d, want 1", got)
+	}
+	if got := requests.With("/domains/{name}", "2xx").Value(); got != 1 {
+		t.Errorf("domains 2xx = %d, want 1", got)
+	}
+	if got := requests.With("/domains/{name}", "4xx").Value(); got != 1 {
+		t.Errorf("domains 4xx = %d, want 1", got)
+	}
+	latency := reg.HistogramVec(MetricRequestSeconds, "", nil, "route")
+	if got := latency.With("/domains/{name}").Count(); got != 2 {
+		t.Errorf("domains latency observations = %d, want 2", got)
+	}
+	if got := latency.With("/stats").Count(); got != 1 {
+		t.Errorf("stats latency observations = %d, want 1", got)
+	}
+
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`dzdb_http_requests_total{route="/domains/{name}",class="4xx"} 1`,
+		`dzdb_http_request_seconds_bucket{route="/stats",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, buf.String())
+		}
+	}
+}

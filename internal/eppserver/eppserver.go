@@ -11,7 +11,7 @@ package eppserver
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/netip"
 	"strings"
@@ -22,7 +22,15 @@ import (
 	"repro/internal/dnsname"
 	"repro/internal/epp"
 	"repro/internal/eppwire"
+	"repro/internal/obs"
 	"repro/internal/registry"
+)
+
+// Metric names recorded into the server's obs registry.
+const (
+	MetricSessionsActive = "epp_sessions_active"
+	MetricSessionsTotal  = "epp_sessions_total"
+	MetricCommands       = "epp_commands_total"
 )
 
 // Server is an EPP protocol front end for one registry.
@@ -33,8 +41,17 @@ type Server struct {
 	// renames are stamped with it. Defaults to a fixed date when nil.
 	Clock func() dates.Day
 
-	// Logf, when non-nil, receives one line per command.
+	// Log, when non-nil, receives one structured record per session
+	// event and command.
+	Log *slog.Logger
+
+	// Logf is the legacy printf-style hook, called once per command
+	// when non-nil. New code should set Log instead.
 	Logf func(format string, args ...any)
+
+	// Obs, when non-nil, receives session gauges and per-command
+	// counters (set it before Serve).
+	Obs *obs.Registry
 
 	mu     sync.Mutex // serializes repository access
 	ln     net.Listener
@@ -46,6 +63,35 @@ type Server struct {
 // New creates a server for the registry.
 func New(reg *registry.Registry) *Server {
 	return &Server{reg: reg}
+}
+
+// sessionMetrics tracks one session open/close against the registry.
+func (s *Server) sessionOpened() {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Counter(MetricSessionsTotal, "EPP sessions accepted.").Inc()
+	s.Obs.Gauge(MetricSessionsActive, "EPP sessions currently open.").Inc()
+}
+
+func (s *Server) sessionClosed() {
+	if s.Obs != nil {
+		s.Obs.Gauge(MetricSessionsActive, "EPP sessions currently open.").Dec()
+	}
+}
+
+// countCommand records one executed command under its verb and result
+// class (ok for 1xxx responses, error otherwise).
+func (s *Server) countCommand(verb string, code int) {
+	if s.Obs == nil {
+		return
+	}
+	result := "ok"
+	if code >= 2000 {
+		result = "error"
+	}
+	s.Obs.CounterVec(MetricCommands, "EPP commands by verb and result.", "verb", "result").
+		With(verb, result).Inc()
 }
 
 // Serve accepts sessions on ln until Close is called. It always returns
@@ -105,9 +151,26 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// logCommand records one completed command: the obs counter, the
+// structured log, and the legacy printf hook.
+func (s *Server) logCommand(verb string, client epp.RegistrarID, code int) {
+	s.countCommand(verb, code)
+	if s.Log != nil {
+		s.Log.Info("command",
+			"registry", s.reg.Name(), "verb", verb, "client", string(client), "code", code)
+	}
+	s.logf("epp %s: %s from %q -> %d", s.reg.Name(), verb, client, code)
+}
+
 // session runs one client connection.
 func (s *Server) session(conn net.Conn) {
 	defer conn.Close()
+	s.sessionOpened()
+	defer s.sessionClosed()
+	if s.Log != nil {
+		s.Log.Info("session open", "registry", s.reg.Name(), "remote", conn.RemoteAddr().String())
+		defer s.Log.Info("session closed", "registry", s.reg.Name(), "remote", conn.RemoteAddr().String())
+	}
 	greeting := &eppwire.EPP{Greeting: &eppwire.Greeting{
 		ServerID:   s.reg.Name(),
 		ServerDate: s.now().String(),
@@ -123,29 +186,35 @@ func (s *Server) session(conn net.Conn) {
 			return
 		}
 		if req.Command == nil {
+			s.logCommand("invalid", client, 2001)
 			s.reply(conn, "", 2001, "command syntax error", nil)
 			continue
 		}
 		cmd := req.Command
-		s.logf("epp %s: %s from %q", s.reg.Name(), cmd.Verb(), client)
+		verb := cmd.Verb()
 		if cmd.Logout != nil {
+			s.logCommand(verb, client, 1500)
 			s.reply(conn, cmd.ClTRID, 1500, "Command completed successfully; ending session", nil)
 			return
 		}
 		if cmd.Login != nil {
 			if cmd.Login.ClientID == "" {
+				s.logCommand(verb, client, 2200)
 				s.reply(conn, cmd.ClTRID, 2200, "invalid registrar credentials", nil)
 				continue
 			}
 			client = epp.RegistrarID(cmd.Login.ClientID)
+			s.logCommand(verb, client, 1000)
 			s.reply(conn, cmd.ClTRID, 1000, "Command completed successfully", nil)
 			continue
 		}
 		if client == "" {
+			s.logCommand(verb, client, 2002)
 			s.reply(conn, cmd.ClTRID, 2002, "login required", nil)
 			continue
 		}
 		code, msg, data, msgQ := s.executeFull(client, cmd)
+		s.logCommand(verb, client, code)
 		s.replyFull(conn, cmd.ClTRID, code, msg, data, msgQ)
 	}
 }
@@ -163,7 +232,11 @@ func (s *Server) replyFull(conn net.Conn, clTRID string, code int, msg string, d
 		SvTRID:   fmt.Sprintf("SV-%s-%d", s.reg.Name(), s.trid.Add(1)),
 	}}
 	if err := eppwire.Send(conn, resp); err != nil && !errors.Is(err, net.ErrClosed) {
-		log.Printf("eppserver: send: %v", err)
+		if s.Log != nil {
+			s.Log.Warn("send failed", "err", err)
+		} else {
+			s.logf("eppserver: send: %v", err)
+		}
 	}
 }
 

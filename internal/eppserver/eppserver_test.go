@@ -3,14 +3,18 @@
 package eppserver
 
 import (
+	"log/slog"
 	"net"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/eppclient"
 	"repro/internal/eppwire"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -264,4 +268,76 @@ func TestTransferWorkflowOverTheWire(t *testing.T) {
 		}
 		must(gaining.PollAck(mq.ID))
 	}
+}
+
+// TestObsInstrumentation drives a session against an instrumented
+// server and checks command counters and session gauges.
+func TestObsInstrumentation(t *testing.T) {
+	reg := registry.New("Verisign", nil, "com", "net")
+	srv := New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2019, 7, 1) }
+	srv.Obs = obs.NewRegistry()
+	var logBuf syncBuffer
+	srv.Log = obs.NewLoggerAt(&logBuf, slog.LevelInfo, "epp-test")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+
+	c := dial(t, ln.Addr().String(), "godaddy")
+	if err := c.CreateDomain("obsdomain.com", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDomain("obsdomain.com", 1); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	if got := srv.Obs.Gauge(MetricSessionsActive, "").Value(); got != 1 {
+		t.Errorf("active sessions = %d, want 1", got)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Obs.Gauge(MetricSessionsActive, "").Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Obs.Gauge(MetricSessionsActive, "").Value(); got != 0 {
+		t.Errorf("active sessions after close = %d, want 0", got)
+	}
+	if got := srv.Obs.Counter(MetricSessionsTotal, "").Value(); got != 1 {
+		t.Errorf("total sessions = %d, want 1", got)
+	}
+	cmds := srv.Obs.CounterVec(MetricCommands, "", "verb", "result")
+	if got := cmds.With("create", "ok").Value(); got != 1 {
+		t.Errorf("create ok = %d, want 1", got)
+	}
+	if got := cmds.With("create", "error").Value(); got != 1 {
+		t.Errorf("create error = %d, want 1", got)
+	}
+	if got := cmds.With("login", "ok").Value(); got != 1 {
+		t.Errorf("login ok = %d, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "component=epp-test") ||
+		!strings.Contains(logBuf.String(), "verb=create") {
+		t.Errorf("structured log missing command records:\n%s", logBuf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer: the session goroutine writes
+// log lines while the test reads them.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

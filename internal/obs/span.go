@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"time"
+)
+
+// Span metric family names. Every span, whatever its stage name,
+// records into these three families with a "stage" label, so one
+// Grafana panel (or one WriteTo dump) shows the whole pipeline.
+const (
+	SpanSecondsMetric = "pipeline_stage_seconds"
+	SpanRunsMetric    = "pipeline_stage_runs_total"
+	SpanItemsMetric   = "pipeline_stage_items_total"
+)
+
+// Span measures one pipeline stage execution: wall time into a latency
+// histogram, a run counter, and an optional processed-item counter.
+type Span struct {
+	reg   *Registry
+	stage string
+	start time.Time
+	items int
+	done  bool
+}
+
+// StartSpan starts a span on the Default registry.
+func StartSpan(stage string) *Span { return Default.StartSpan(stage) }
+
+// StartSpan starts a span named after a pipeline stage, e.g.
+// "detect.extract". Call End (or EndItems) when the stage finishes.
+func (r *Registry) StartSpan(stage string) *Span {
+	return &Span{reg: r, stage: stage, start: r.Now()}
+}
+
+// AddItems adds to the span's processed-item count, reported on End.
+func (s *Span) AddItems(n int) { s.items += n }
+
+// End records the span and returns its duration. A second End is a
+// no-op returning zero, so deferred Ends compose with explicit ones.
+func (s *Span) End() time.Duration {
+	if s.done {
+		return 0
+	}
+	s.done = true
+	d := s.reg.Now().Sub(s.start)
+	s.reg.HistogramVec(SpanSecondsMetric, "Pipeline stage wall time.", nil, "stage").
+		With(s.stage).Observe(d.Seconds())
+	s.reg.CounterVec(SpanRunsMetric, "Pipeline stage executions.", "stage").
+		With(s.stage).Inc()
+	if s.items > 0 {
+		s.reg.CounterVec(SpanItemsMetric, "Items processed per pipeline stage.", "stage").
+			With(s.stage).Add(s.items)
+	}
+	return d
+}
+
+// RegisterSpanFamilies pre-creates the span metric families so a
+// /metrics scrape announces them before the first stage runs.
+func (r *Registry) RegisterSpanFamilies() {
+	r.HistogramVec(SpanSecondsMetric, "Pipeline stage wall time.", nil, "stage")
+	r.CounterVec(SpanRunsMetric, "Pipeline stage executions.", "stage")
+	r.CounterVec(SpanItemsMetric, "Items processed per pipeline stage.", "stage")
+}
