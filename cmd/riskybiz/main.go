@@ -5,7 +5,9 @@
 // Usage:
 //
 //	riskybiz [-scale N] [-seed S] [-only table3,figure6] [-csv]
-//	         [-save-data PREFIX] [-figures-csv DIR] [-stats] [-stats-json FILE]
+//	         [-save-data PREFIX] [-save-snapshots DIR] [-figures-csv DIR]
+//	         [-reingest [-strict] [-max-quarantine N]]
+//	         [-stats] [-stats-json FILE]
 package main
 
 import (
@@ -42,11 +44,29 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON instead of text artifacts")
 	stats := flag.Bool("stats", false, "print a detection stage-timing report to stderr")
 	statsJSON := flag.String("stats-json", "", "also dump the stage timings as JSON to this file (\"-\" = stderr)")
+	reingest := flag.Bool("reingest", false, "rebuild the zone DB from daily snapshots through the ingester before detection")
+	strict := flag.Bool("strict", false, "with -reingest, abort on the first invalid snapshot instead of quarantining it")
+	maxQuarantine := flag.Int("max-quarantine", 0, "with -reingest, abort after quarantining this many snapshots (0 = unlimited)")
+	saveSnapshots := flag.String("save-snapshots", "", "after simulating, write each zone's daily master-file snapshots into this directory")
 	flag.Parse()
 
-	study, err := riskybiz.Run(riskybiz.Options{Seed: *seed, DomainsPerDay: *scale})
+	study, err := riskybiz.Run(riskybiz.Options{
+		Seed: *seed, DomainsPerDay: *scale,
+		Reingest: *reingest, StrictIngest: *strict, MaxQuarantine: *maxQuarantine,
+		Obs: obs.Default,
+	})
 	if err != nil {
 		fatalf("run: %v", err)
+	}
+	if *reingest {
+		logger.Info("reingest complete", "quarantine", study.Quarantine.String())
+	}
+	if *saveSnapshots != "" {
+		n, err := writeSnapshots(study, *saveSnapshots)
+		if err != nil {
+			fatalf("writing -save-snapshots: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%d snapshots written to %s\n", n, *saveSnapshots)
 	}
 	if *stats {
 		study.Result.Stats.WriteReport(os.Stderr)
@@ -161,6 +181,36 @@ func writeFigureCSVs(study *riskybiz.Study, dir string) error {
 		return err
 	}
 	return cdf("figure7_hijacked_days.csv", hijacked)
+}
+
+// writeSnapshots dumps every zone-day snapshot as a master-file text
+// file named <zone>-<date>.zone — the input format riskydetect
+// -snapshots ingests.
+func writeSnapshots(study *riskybiz.Study, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	db := study.World.ZoneDB()
+	cfg := study.World.Config()
+	n := 0
+	for day := cfg.Start; day <= cfg.End; day++ {
+		for _, zone := range db.Zones() {
+			snap := db.SnapshotOn(zone, day)
+			f, err := os.Create(fmt.Sprintf("%s/%s-%s.zone", dir, zone, day))
+			if err != nil {
+				return n, err
+			}
+			if err := snap.Write(f); err != nil {
+				f.Close()
+				return n, err
+			}
+			if err := f.Close(); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
 }
 
 // saveDataset archives the zone database, WHOIS history, and the

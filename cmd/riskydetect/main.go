@@ -8,13 +8,24 @@
 //	riskybiz -scale 12 -save-data dataset
 //	riskydetect -data dataset [-only table3,figure6] [-csv]
 //	            [-workers N] [-stats] [-stats-json FILE]
+//
+// The zone database can also be rebuilt from master-file snapshots
+// (riskybiz -save-snapshots) instead of the binary archive, with
+// degraded-mode quarantining of corrupt or gap-violating files:
+//
+//	riskybiz -scale 12 -save-data dataset -save-snapshots snaps
+//	riskydetect -data dataset -snapshots 'snaps/*.zone' [-strict]
+//	            [-max-quarantine N]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -47,9 +58,12 @@ func main() {
 	workers := flag.Int("workers", 0, "candidate-extraction workers (0 = sequential)")
 	stats := flag.Bool("stats", false, "print a pipeline stage-timing report to stderr")
 	statsJSON := flag.String("stats-json", "", "also dump the stage timings as JSON to this file (\"-\" = stderr)")
+	snapshots := flag.String("snapshots", "", "build the zone DB by ingesting master-file snapshots matching this glob instead of PREFIX.dzdb")
+	strict := flag.Bool("strict", false, "with -snapshots, abort on the first invalid snapshot instead of quarantining it")
+	maxQuarantine := flag.Int("max-quarantine", 0, "with -snapshots, abort after quarantining this many snapshots (0 = unlimited)")
 	flag.Parse()
 
-	db, who, exclude, err := loadDataset(*data)
+	db, who, exclude, err := loadDataset(*data, *snapshots, *strict, *maxQuarantine)
 	if err != nil {
 		fatalf("loading dataset: %v", err)
 	}
@@ -114,13 +128,14 @@ func writeStatsJSON(stats *detect.RunStats, path string) error {
 	return f.Close()
 }
 
-func loadDataset(prefix string) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
-	zf, err := os.Open(prefix + ".dzdb")
-	if err != nil {
-		return nil, nil, nil, err
+func loadDataset(prefix, snapshots string, strict bool, maxQuarantine int) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
+	var db *zonedb.DB
+	var err error
+	if snapshots != "" {
+		db, err = ingestSnapshots(snapshots, strict, maxQuarantine)
+	} else {
+		db, err = loadArchive(prefix)
 	}
-	defer zf.Close()
-	db, err := zonedb.ReadFrom(bufio.NewReader(zf))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -154,4 +169,46 @@ func loadDataset(prefix string) (*zonedb.DB, *whois.History, []dnsname.Name, err
 		}
 	}
 	return db, who, exclude, nil
+}
+
+// loadArchive reads the binary zone-DB archive riskybiz -save-data wrote.
+func loadArchive(prefix string) (*zonedb.DB, error) {
+	zf, err := os.Open(prefix + ".dzdb")
+	if err != nil {
+		return nil, err
+	}
+	defer zf.Close()
+	return zonedb.ReadFrom(bufio.NewReader(zf))
+}
+
+// osFS exposes the host filesystem to the snapshot FileSource.
+type osFS struct{}
+
+func (osFS) Open(name string) (fs.File, error) { return os.Open(name) }
+
+// ingestSnapshots builds the zone DB from master-file snapshots (as
+// written by riskybiz -save-snapshots). Paths are sorted, which the
+// <zone>-<date>.zone naming scheme makes chronological per zone. By
+// default invalid snapshots are quarantined and summarised; -strict
+// turns the first one into a fatal error.
+func ingestSnapshots(glob string, strict bool, maxQuarantine int) (*zonedb.DB, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no snapshots match %q", glob)
+	}
+	sort.Strings(paths)
+	ing := zonedb.NewIngester()
+	ing.Degraded = !strict
+	ing.MaxQuarantine = maxQuarantine
+	ing.Obs = obs.Default
+	if err := ing.IngestAll(&zonedb.FileSource{FS: osFS{}, Paths: paths}); err != nil {
+		return nil, err
+	}
+	report := ing.Quarantine()
+	logger.Info("snapshots ingested", "files", len(paths)-report.Total(),
+		"quarantine", report.String())
+	return ing.Finish(), nil
 }

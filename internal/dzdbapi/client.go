@@ -1,14 +1,33 @@
 package dzdbapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"repro/internal/dnsname"
+	"repro/internal/faults"
+)
+
+const (
+	// maxJSONBody bounds structured responses; the largest legitimate
+	// payload (a nameserver's full delegation history) is far below this.
+	maxJSONBody = 8 << 20
+	// maxSnapshotBody bounds zone snapshot downloads.
+	maxSnapshotBody = 64 << 20
+	// maxErrBody bounds how much of an error payload is read, and
+	// errSnippet how much of it is quoted back in APIError.
+	maxErrBody = 4 << 10
+	errSnippet = 200
+	// drainLimit caps how many leftover bytes are consumed before close
+	// so the keep-alive connection can be reused.
+	drainLimit = 64 << 10
 )
 
 // Client queries a dzdbapi server.
@@ -17,15 +36,29 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the default client (2s timeout) when set.
 	HTTPClient *http.Client
+	// Retry, when set, retries requests per the policy. Transport errors
+	// and 5xx responses are retryable; 4xx responses are permanent. All
+	// the client's requests are idempotent GETs, so replay is safe.
+	Retry *faults.Policy
+	// Breaker, when set, guards every request: after repeated failures
+	// calls fail fast with faults.ErrOpen instead of hammering a dead
+	// server.
+	Breaker *faults.Breaker
 }
 
 // APIError is a non-200 response.
 type APIError struct {
 	Status int
 	Msg    string
+	// Body is a truncated snippet of a non-JSON error payload (an HTML
+	// error page from a proxy, a panic trace), kept for diagnostics.
+	Body string
 }
 
 func (e *APIError) Error() string {
+	if e.Body != "" {
+		return fmt.Sprintf("dzdbapi: %d %s: %q", e.Status, e.Msg, e.Body)
+	}
 	return fmt.Sprintf("dzdbapi: %d %s", e.Status, e.Msg)
 }
 
@@ -36,26 +69,83 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 2 * time.Second}
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.httpClient().Get(c.BaseURL + path)
-	if err != nil {
-		return err
+// retryableResponse classifies errors for the retry policy: server-side
+// (5xx) and transport failures may clear up; client-side (4xx) errors
+// will repeat identically and are permanent.
+func retryableResponse(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
-			return &APIError{Status: resp.StatusCode, Msg: ae.Error}
+	return true
+}
+
+// do runs fn through the breaker and retry policy, if configured.
+func (c *Client) do(ctx context.Context, fn func(ctx context.Context) error) error {
+	run := fn
+	if c.Breaker != nil {
+		run = func(ctx context.Context) error { return c.Breaker.Do(ctx, fn) }
+	}
+	if c.Retry == nil {
+		return run(ctx)
+	}
+	p := *c.Retry
+	if p.Retryable == nil {
+		p.Retryable = retryableResponse
+	}
+	return faults.Retry(ctx, p, run)
+}
+
+// drain consumes any unread remainder of the body before closing it so
+// the underlying keep-alive connection stays reusable.
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainLimit))
+	body.Close()
+}
+
+// errorFromResponse reads a bounded amount of a non-200 body. Servers
+// answer with a JSON {"error": ...}; anything else (a proxy's HTML page)
+// is preserved as a truncated snippet.
+func errorFromResponse(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+	var ae apiError
+	if err := json.Unmarshal(raw, &ae); err == nil && ae.Error != "" {
+		return &APIError{Status: resp.StatusCode, Msg: ae.Error}
+	}
+	s := strings.TrimSpace(string(raw))
+	if len(s) > errSnippet {
+		s = s[:errSnippet] + "..."
+	}
+	return &APIError{Status: resp.StatusCode, Msg: resp.Status, Body: s}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return faults.Permanent(err)
 		}
-		return &APIError{Status: resp.StatusCode, Msg: resp.Status}
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return errorFromResponse(resp)
+		}
+		return json.NewDecoder(io.LimitReader(resp.Body, maxJSONBody)).Decode(out)
+	})
 }
 
 // Stats fetches database-wide counts.
 func (c *Client) Stats() (*StatsResponse, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats bounded by ctx.
+func (c *Client) StatsContext(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.getJSON("/stats", &out); err != nil {
+	if err := c.getJSON(ctx, "/stats", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -63,8 +153,13 @@ func (c *Client) Stats() (*StatsResponse, error) {
 
 // Domain fetches a domain's registration spans and nameserver history.
 func (c *Client) Domain(name dnsname.Name) (*DomainResponse, error) {
+	return c.DomainContext(context.Background(), name)
+}
+
+// DomainContext is Domain bounded by ctx.
+func (c *Client) DomainContext(ctx context.Context, name dnsname.Name) (*DomainResponse, error) {
 	var out DomainResponse
-	if err := c.getJSON("/domains/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "/domains/"+url.PathEscape(string(name)), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -72,8 +167,13 @@ func (c *Client) Domain(name dnsname.Name) (*DomainResponse, error) {
 
 // Nameserver fetches a nameserver's delegated domains and exposure.
 func (c *Client) Nameserver(name dnsname.Name) (*NameserverResponse, error) {
+	return c.NameserverContext(context.Background(), name)
+}
+
+// NameserverContext is Nameserver bounded by ctx.
+func (c *Client) NameserverContext(ctx context.Context, name dnsname.Name) (*NameserverResponse, error) {
 	var out NameserverResponse
-	if err := c.getJSON("/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -81,18 +181,33 @@ func (c *Client) Nameserver(name dnsname.Name) (*NameserverResponse, error) {
 
 // Snapshot fetches a zone's master-file snapshot for a date.
 func (c *Client) Snapshot(zone dnsname.Name, date string) (string, error) {
-	resp, err := c.httpClient().Get(fmt.Sprintf("%s/zones/%s/snapshot?date=%s",
-		c.BaseURL, url.PathEscape(string(zone)), url.QueryEscape(date)))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", &APIError{Status: resp.StatusCode, Msg: string(body)}
-	}
-	return string(body), nil
+	return c.SnapshotContext(context.Background(), zone, date)
+}
+
+// SnapshotContext is Snapshot bounded by ctx.
+func (c *Client) SnapshotContext(ctx context.Context, zone dnsname.Name, date string) (string, error) {
+	var body string
+	err := c.do(ctx, func(ctx context.Context) error {
+		u := fmt.Sprintf("%s/zones/%s/snapshot?date=%s",
+			c.BaseURL, url.PathEscape(string(zone)), url.QueryEscape(date))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return faults.Permanent(err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return errorFromResponse(resp)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBody))
+		if err != nil {
+			return err
+		}
+		body = string(raw)
+		return nil
+	})
+	return body, err
 }

@@ -1,0 +1,296 @@
+// Chaos tests: the typed client against a real eppserver with seeded
+// transport faults injected between them. They prove the
+// reconnect-and-replay path converges — every idempotent operation
+// completes despite connections dying mid-command — and that breaker
+// state is visible through internal/obs.
+package eppclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/eppclient"
+	"repro/internal/eppserver"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// startServer runs an eppserver on a loopback listener and returns the
+// listener with the address; tests may close the listener early to
+// simulate an outage (new dials refused, existing sessions untouched).
+func startServer(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	reg := registry.New("Verisign", nil, "com", "net")
+	srv := eppserver.New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2019, 7, 1) }
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { ln.Close() })
+	return ln, ln.Addr().String()
+}
+
+// dialFaulty dials through the fault plan, retrying until the initial
+// handshake survives the injected failures.
+func dialFaulty(t *testing.T, cfg eppclient.Config) *eppclient.Client {
+	t.Helper()
+	var c *eppclient.Client
+	err := faults.Retry(context.Background(), faults.Policy{MaxAttempts: 20, BaseDelay: -1},
+		func(ctx context.Context) error {
+			var err error
+			c, err = eppclient.DialConfig(ctx, cfg)
+			return err
+		})
+	if err != nil {
+		t.Fatalf("dial never survived the fault schedule: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestChaosIdempotentOpsConvergeUnderFaults(t *testing.T) {
+	_, addr := startServer(t)
+
+	// Fixtures go in over a clean connection: creates are not replayable.
+	setup, err := eppclient.Dial(addr, "godaddy", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateDomain("example.com", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateHost("ns1.example.com", "192.0.2.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.SetNS("example.com", "ns1.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	// Well over 20% of wire operations are faulted: 10% fail hard
+	// (connection killed mid-command, forcing reconnect-and-replay) and
+	// a further 25% stall briefly. Every read and write rolls
+	// independently, so a single EPP round trip crosses several fault
+	// points.
+	var dials atomic.Int64
+	base := faults.FaultyDialer(nil, faults.Plan{
+		Seed:      1,
+		FailRate:  0.10,
+		DelayRate: 0.25,
+		Delay:     2 * time.Millisecond,
+	})
+	cfg := eppclient.Config{
+		Addr: addr, ClientID: "godaddy", Password: "pw",
+		IOTimeout: 2 * time.Second,
+		Retry:     faults.Policy{MaxAttempts: 20, BaseDelay: -1, Seed: 1},
+		Dialer: func(ctx context.Context, network, a string) (net.Conn, error) {
+			dials.Add(1)
+			return base(ctx, network, a)
+		},
+	}
+	c := dialFaulty(t, cfg)
+
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		avail, err := c.CheckDomains("example.com", fmt.Sprintf("free%d.com", i))
+		if err != nil {
+			t.Fatalf("op %d: CheckDomains: %v", i, err)
+		}
+		if avail["example.com"] || !avail[fmt.Sprintf("free%d.com", i)] {
+			t.Fatalf("op %d: wrong availability %v", i, avail)
+		}
+		info, err := c.DomainInfo("example.com")
+		if err != nil {
+			t.Fatalf("op %d: DomainInfo: %v", i, err)
+		}
+		if len(info.NS) != 1 || info.NS[0] != "ns1.example.com" {
+			t.Fatalf("op %d: info = %+v", i, info)
+		}
+	}
+	if dials.Load() < 2 {
+		t.Fatalf("fault schedule never forced a reconnect (dials=%d); the replay path went untested", dials.Load())
+	}
+	t.Logf("completed %d idempotent ops over %d connections", 2*ops, dials.Load())
+}
+
+// failNthWrite kills the connection on its nth write — a fault that
+// lands while a specific command is in flight.
+type failNthWrite struct {
+	net.Conn
+	writes, n int
+}
+
+func (c *failNthWrite) Write(b []byte) (int, error) {
+	c.writes++
+	if c.writes == c.n {
+		c.Conn.Close()
+		return 0, faults.ErrInjected
+	}
+	return c.Conn.Write(b)
+}
+
+func TestChaosNonIdempotentCommandIsNotReplayed(t *testing.T) {
+	_, addr := startServer(t)
+	// The first connection dies on its fifth write. Each EPP frame is
+	// two writes (header, payload), so the schedule is: login (1,2),
+	// create (3,4), then the delete's header write (5) fails with the
+	// command in flight. Later connections are clean.
+	var conns atomic.Int64
+	d := &net.Dialer{}
+	cfg := eppclient.Config{
+		Addr: addr, ClientID: "godaddy", Password: "pw",
+		IOTimeout: time.Second,
+		Retry:     faults.Policy{MaxAttempts: 3, BaseDelay: -1},
+		Dialer: func(ctx context.Context, network, a string) (net.Conn, error) {
+			conn, err := d.DialContext(ctx, network, a)
+			if err != nil {
+				return nil, err
+			}
+			if conns.Add(1) == 1 {
+				return &failNthWrite{Conn: conn, n: 5}, nil
+			}
+			return conn, nil
+		},
+	}
+	c, err := eppclient.DialConfig(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateDomain("example.com", 2); err != nil {
+		t.Fatal(err)
+	}
+	// The delete's fate at the server is ambiguous once the wire dies
+	// mid-command, so the client must surface the failure rather than
+	// replay it.
+	if err := c.DeleteDomain("example.com"); err == nil {
+		t.Fatal("delete dying mid-flight must not be silently replayed")
+	}
+	// The next idempotent command transparently reconnects.
+	avail, err := c.CheckDomains("example.com", "fresh.com")
+	if err != nil {
+		t.Fatalf("reconnect after failed delete: %v", err)
+	}
+	if !avail["fresh.com"] {
+		t.Fatalf("avail = %v", avail)
+	}
+	// The create committed before the fault and the failed delete did
+	// not replay: the reconnected session must still see the domain.
+	if avail["example.com"] {
+		t.Fatal("domain vanished: the dead delete was replayed")
+	}
+	if _, err := c.DomainInfo("example.com"); err != nil {
+		t.Fatalf("domain info across reconnect: %v", err)
+	}
+	if conns.Load() < 2 {
+		t.Fatalf("expected a reconnect, saw %d conns", conns.Load())
+	}
+}
+
+func TestChaosBreakerOpensWhenServerDies(t *testing.T) {
+	reg := obs.NewRegistry()
+	br := &faults.Breaker{Name: "epp-dial", FailureThreshold: 2, OpenTimeout: time.Minute}
+	br.Instrument(reg)
+
+	ln, addr := startServer(t)
+	c, err := eppclient.DialConfig(context.Background(), eppclient.Config{
+		Addr: addr, ClientID: "godaddy", Password: "pw",
+		IOTimeout: 500 * time.Millisecond,
+		Retry:     faults.Policy{MaxAttempts: 4, BaseDelay: -1},
+		Breaker:   br,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CheckDomains("a.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take the server away and sever the session: reconnect attempts
+	// now fail and must trip the breaker.
+	ln.Close()
+	eppclient.BreakConn(c)
+	if _, err := c.CheckDomains("a.com"); err == nil {
+		t.Fatal("check should fail with the server gone")
+	}
+	for i := 0; i < 3; i++ {
+		_, _ = c.CheckDomains("a.com")
+	}
+	if st := br.State(); st != faults.Open {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `faults_breaker_state{breaker="epp-dial"} 2`) {
+		t.Errorf("breaker state not visible in metrics:\n%s", out)
+	}
+	if !strings.Contains(out, `faults_breaker_transitions_total{breaker="epp-dial",to="open"}`) {
+		t.Errorf("breaker transition not visible in metrics:\n%s", out)
+	}
+	// Fail-fast: with the breaker open, the next call must reject
+	// without burning the dial timeout.
+	start := time.Now()
+	if _, err := c.CheckDomains("a.com"); !errors.Is(err, faults.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("open breaker did not fail fast")
+	}
+}
+
+func TestDialContextCanceled(t *testing.T) {
+	_, addr := startServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eppclient.DialContext(ctx, addr, "godaddy", "pw"); err == nil {
+		t.Fatal("canceled context should abort the dial")
+	}
+}
+
+func TestStalledServerHitsDeadlineNotForever(t *testing.T) {
+	// A listener that accepts and then goes silent: the old client hung
+	// forever here; now the greeting read must hit the I/O deadline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = conn // accept and say nothing
+		}
+	}()
+	start := time.Now()
+	_, err = eppclient.DialConfig(context.Background(), eppclient.Config{
+		Addr: ln.Addr().String(), ClientID: "x", Password: "pw",
+		IOTimeout: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("stalled server should fail the dial")
+	}
+	if !faults.IsTimeout(err) {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline did not bound the stall")
+	}
+}

@@ -1,13 +1,24 @@
 // Package eppclient is a typed EPP client for the eppserver: it dials,
 // consumes the greeting, logs in, and exposes one method per command.
 // Errors carry the server's EPP result code.
+//
+// The client is fault-tolerant at the transport layer: dialing is
+// bounded by a timeout, every round trip runs under a read/write
+// deadline (a stalled server can no longer hang the session forever),
+// and when a connection dies mid-command the client transparently
+// redials, re-authenticates, and — for commands that are safe to replay
+// (see replayable and DESIGN.md §6) — retries the command with backoff.
 package eppclient
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/eppwire"
+	"repro/internal/faults"
 )
 
 // ResultError is a non-success EPP response.
@@ -26,60 +37,175 @@ func IsCode(err error, code int) bool {
 	return ok && re.Code == code
 }
 
+// Config tunes a session's fault-tolerance behaviour. The zero value
+// (plus the required Addr/ClientID/Password) gives 5s dials, 10s
+// per-command deadlines, and a 3-attempt reconnect-and-replay policy.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// ClientID and Password authenticate the session.
+	ClientID, Password string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each command round trip — send plus receive
+	// (default 10s). A deadline hit closes the session cleanly.
+	IOTimeout time.Duration
+	// Retry governs reconnect-and-replay of idempotent commands after a
+	// transport failure. MaxAttempts 1 disables replay; the zero value
+	// selects the faults defaults (3 attempts, jittered backoff).
+	Retry faults.Policy
+	// NoReplay disables reconnect-and-replay entirely, preserving the
+	// strict one-connection session semantics some tests want.
+	NoReplay bool
+	// Dialer overrides how connections are made (fault injection, SOCKS,
+	// tests). Defaults to a net.Dialer bounded by DialTimeout.
+	Dialer faults.Dialer
+	// Breaker, when non-nil, guards dial attempts: once the server has
+	// refused enough connections the client fails fast with
+	// faults.ErrOpen instead of burning its dial timeout.
+	Breaker *faults.Breaker
+}
+
+func (cfg Config) dialTimeout() time.Duration {
+	if cfg.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return cfg.DialTimeout
+}
+
+func (cfg Config) ioTimeout() time.Duration {
+	if cfg.IOTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return cfg.IOTimeout
+}
+
 // Client is one authenticated EPP session. Not safe for concurrent use
 // (EPP sessions are strictly request/response).
 type Client struct {
+	cfg      Config
 	conn     net.Conn
 	greeting *eppwire.Greeting
 	seq      int
+	broken   bool // conn saw a transport error and must be redialed
 }
 
-// Dial connects, reads the greeting, and logs in as clientID.
+// Dial connects, reads the greeting, and logs in as clientID, with
+// default timeouts. See DialConfig for the tunable form.
 func Dial(addr, clientID, password string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{conn: conn}
-	hello, err := eppwire.Receive(conn)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("eppclient: reading greeting: %w", err)
-	}
-	if hello.Greeting == nil {
-		conn.Close()
-		return nil, fmt.Errorf("eppclient: expected greeting, got %+v", hello)
-	}
-	c.greeting = hello.Greeting
-	if _, err := c.roundTrip(&eppwire.Command{
-		Login: &eppwire.Login{ClientID: clientID, Password: password},
-	}); err != nil {
-		conn.Close()
+	return DialConfig(context.Background(), Config{Addr: addr, ClientID: clientID, Password: password})
+}
+
+// DialContext is Dial bounded by ctx (cancellation and deadline apply
+// to the dial, greeting, and login).
+func DialContext(ctx context.Context, addr, clientID, password string) (*Client, error) {
+	return DialConfig(ctx, Config{Addr: addr, ClientID: clientID, Password: password})
+}
+
+// DialConfig connects per cfg, reads the greeting, and logs in. Dial
+// attempts run through the same retry policy and breaker as reconnects:
+// transport failures are retried with backoff, an EPP result (bad
+// credentials) is final, and an open breaker fails fast.
+func DialConfig(ctx context.Context, cfg Config) (*Client, error) {
+	c := &Client{cfg: cfg}
+	if err := faults.Retry(ctx, c.retryPolicy(), c.connect); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
+// connect dials, consumes the greeting, and authenticates, replacing any
+// previous connection state.
+func (c *Client) connect(ctx context.Context) error {
+	dial := c.cfg.Dialer
+	if dial == nil {
+		d := &net.Dialer{Timeout: c.cfg.dialTimeout()}
+		dial = d.DialContext
+	}
+	var conn net.Conn
+	dialOnce := func(ctx context.Context) error {
+		var err error
+		conn, err = dial(ctx, "tcp", c.cfg.Addr)
+		return err
+	}
+	var err error
+	if c.cfg.Breaker != nil {
+		err = c.cfg.Breaker.Do(ctx, dialOnce)
+	} else {
+		err = dialOnce(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	_ = faults.SetConnDeadline(conn, ctx, c.cfg.ioTimeout())
+	hello, err := eppwire.Receive(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("eppclient: reading greeting: %w", err)
+	}
+	if hello.Greeting == nil {
+		conn.Close()
+		return fmt.Errorf("eppclient: expected greeting, got %+v", hello)
+	}
+	c.conn, c.broken = conn, false
+	c.greeting = hello.Greeting
+	if _, err := c.exchange(ctx, &eppwire.Command{
+		Login: &eppwire.Login{ClientID: c.cfg.ClientID, Password: c.cfg.Password},
+	}); err != nil {
+		conn.Close()
+		c.broken = true
+		return err
+	}
+	return nil
+}
+
 // Greeting returns the server greeting received at connect time.
 func (c *Client) Greeting() *eppwire.Greeting { return c.greeting }
 
-// Close logs out and closes the connection.
+// Close logs out and closes the connection. A session already broken by
+// a transport error is just closed — no logout is attempted on a dead
+// connection.
 func (c *Client) Close() error {
-	_, _ = c.roundTrip(&eppwire.Command{Logout: &eppwire.Logout{}})
+	if c.conn == nil {
+		return nil
+	}
+	if !c.broken {
+		_, _ = c.exchange(context.Background(), &eppwire.Command{Logout: &eppwire.Logout{}})
+	}
 	return c.conn.Close()
 }
 
-// roundTrip sends one command and returns the response, converting
-// non-1xxx results to ResultError.
-func (c *Client) roundTrip(cmd *eppwire.Command) (*eppwire.Response, error) {
+// transportError marks a failure of the connection itself (as opposed to
+// an EPP-level result or protocol-shape error), which is what makes a
+// command eligible for reconnect-and-replay.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return fmt.Sprintf("eppclient: transport: %v", e.err) }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransport reports whether err came from the wire rather than the
+// server's EPP result.
+func isTransport(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// exchange sends one command on the current connection under the I/O
+// deadline and returns the response, converting non-1xxx results to
+// ResultError. Wire failures close the connection, mark the session
+// broken, and come back as transportError.
+func (c *Client) exchange(ctx context.Context, cmd *eppwire.Command) (*eppwire.Response, error) {
 	c.seq++
 	cmd.ClTRID = fmt.Sprintf("CL-%d", c.seq)
+	_ = faults.SetConnDeadline(c.conn, ctx, c.cfg.ioTimeout())
 	if err := eppwire.Send(c.conn, &eppwire.EPP{Command: cmd}); err != nil {
-		return nil, err
+		c.breakConn()
+		return nil, &transportError{err}
 	}
 	resp, err := eppwire.Receive(c.conn)
 	if err != nil {
-		return nil, err
+		c.breakConn()
+		return nil, &transportError{err}
 	}
 	if resp.Response == nil {
 		return nil, fmt.Errorf("eppclient: expected response, got %+v", resp)
@@ -89,6 +215,100 @@ func (c *Client) roundTrip(cmd *eppwire.Command) (*eppwire.Response, error) {
 		return r, &ResultError{Code: r.Result.Code, Msg: r.Result.Msg}
 	}
 	return r, nil
+}
+
+// breakConn closes a connection that produced a wire error so a stalled
+// or half-dead peer cannot pin resources, and marks the session for
+// redial.
+func (c *Client) breakConn() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// replayable reports whether cmd may be safely re-sent on a fresh
+// connection after an ambiguous transport failure. Reads (check, info,
+// poll req, transfer query) are side-effect free; a domain update is a
+// full delegation replacement, so applying it twice converges to the
+// same state. Everything else (create, delete, renew, host rename,
+// transfer state changes, poll ack) is NOT idempotent and surfaces the
+// transport error to the caller instead. See DESIGN.md §6.
+func replayable(cmd *eppwire.Command) bool {
+	switch {
+	case cmd.Check != nil, cmd.Info != nil:
+		return true
+	case cmd.Poll != nil:
+		return cmd.Poll.Op == "req"
+	case cmd.Transfer != nil:
+		return cmd.Transfer.Op == "query"
+	case cmd.Update != nil:
+		return cmd.Update.Domain != nil && cmd.Update.Host == nil
+	}
+	return false
+}
+
+// roundTrip executes one command, transparently reconnecting first when
+// the previous command broke the connection, and replaying idempotent
+// commands whose own round trip dies mid-flight.
+func (c *Client) roundTrip(cmd *eppwire.Command) (*eppwire.Response, error) {
+	ctx := context.Background()
+	if c.broken {
+		if c.cfg.NoReplay {
+			return nil, &transportError{net.ErrClosed}
+		}
+		if err := faults.Retry(ctx, c.retryPolicy(), c.connect); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.exchange(ctx, cmd)
+	if err == nil || !isTransport(err) || c.cfg.NoReplay || !replayable(cmd) {
+		return resp, err
+	}
+	// The connection died with the command in flight; rebuild the
+	// session and replay. Each attempt redials because a failed replay
+	// breaks the new connection too.
+	rerr := faults.Retry(ctx, c.retryPolicy(), func(ctx context.Context) error {
+		if c.broken {
+			if err := c.connect(ctx); err != nil {
+				return err
+			}
+		}
+		resp, err = c.exchange(ctx, cmd)
+		if err != nil && !isTransport(err) {
+			return faults.Permanent(err) // EPP result: the server decided
+		}
+		return err
+	})
+	if rerr != nil {
+		return resp, rerr
+	}
+	return resp, nil
+}
+
+// retryPolicy returns the reconnect policy with test-friendly defaults:
+// quick backoff so chaos runs converge fast.
+func (c *Client) retryPolicy() faults.Policy {
+	p := c.cfg.Retry
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Retryable == nil {
+		// Wire and dial failures are worth more attempts; an EPP result
+		// is the server's answer and retrying will not change it, and an
+		// open breaker means fail fast, not spin.
+		p.Retryable = func(err error) bool {
+			var re *ResultError
+			return !errors.As(err, &re) && !errors.Is(err, faults.ErrOpen)
+		}
+	}
+	return p
 }
 
 // CheckDomains reports availability per domain name.

@@ -1,0 +1,6 @@
+package eppclient
+
+// BreakConn severs the client's current connection as an injected fault,
+// exactly as a mid-command wire error would: the conn is closed and the
+// session marked for redial. Test hook only.
+func BreakConn(c *Client) { c.breakConn() }

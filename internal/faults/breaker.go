@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states. Gauge values follow the common convention: 0 closed,
+// 1 half-open, 2 open.
+type State int
+
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Metric names exported when a Breaker is instrumented.
+const (
+	MetricBreakerState       = "faults_breaker_state"
+	MetricBreakerTransitions = "faults_breaker_transitions_total"
+	MetricBreakerRejected    = "faults_breaker_rejected_total"
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// every call. After FailureThreshold consecutive failures it opens and
+// rejects calls with ErrOpen for OpenTimeout, then admits HalfOpenProbes
+// trial calls; all succeeding closes it, any failing re-opens it.
+// Configure before first use; Allow/Record/Do are safe for concurrent
+// use.
+type Breaker struct {
+	// Name labels the breaker in metrics.
+	Name string
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before probing
+	// (default 5s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many consecutive successes close a half-open
+	// breaker (default 1).
+	HalfOpenProbes int
+	// Now supplies the clock; overridable in tests. Defaults to time.Now.
+	Now func() time.Time
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probes    int // probes admitted this half-open period
+	openedAt  time.Time
+
+	gauge       *obs.Gauge
+	transitions *obs.CounterVec
+	rejected    *obs.Counter
+}
+
+// Instrument exports the breaker's state and transition counts into reg
+// under the breaker's Name. Call before first use.
+func (b *Breaker) Instrument(reg *obs.Registry) {
+	b.gauge = reg.GaugeVec(MetricBreakerState, "Circuit breaker state (0 closed, 1 half-open, 2 open).", "breaker").With(b.Name)
+	b.transitions = reg.CounterVec(MetricBreakerTransitions, "Circuit breaker state transitions.", "breaker", "to")
+	b.rejected = reg.CounterVec(MetricBreakerRejected, "Calls rejected while the breaker was open.", "breaker").With(b.Name)
+	b.gauge.Set(int64(Closed))
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold < 1 {
+		return 5
+	}
+	return b.FailureThreshold
+}
+
+func (b *Breaker) timeout() time.Duration {
+	if b.OpenTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return b.OpenTimeout
+}
+
+func (b *Breaker) probesWanted() int {
+	if b.HalfOpenProbes < 1 {
+		return 1
+	}
+	return b.HalfOpenProbes
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// transitionLocked moves to state s and publishes it.
+func (b *Breaker) transitionLocked(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	switch s {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.successes = 0
+		b.probes = 0
+	case Open:
+		b.openedAt = b.now()
+	}
+	if b.gauge != nil {
+		b.gauge.Set(int64(s))
+		b.transitions.With(b.Name, s.String()).Inc()
+	}
+}
+
+// State returns the current state (advancing open→half-open when the
+// cool-down has elapsed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.timeout() {
+		b.transitionLocked(HalfOpen)
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed, returning ErrOpen otherwise.
+// Each admitted call must be matched by one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.now().Sub(b.openedAt) < b.timeout() {
+			if b.rejected != nil {
+				b.rejected.Inc()
+			}
+			return ErrOpen
+		}
+		b.transitionLocked(HalfOpen)
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.probesWanted() {
+			if b.rejected != nil {
+				b.rejected.Inc()
+			}
+			return ErrOpen
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Record reports the outcome of an admitted call.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.transitionLocked(Open)
+		}
+	case HalfOpen:
+		if err != nil {
+			b.transitionLocked(Open)
+			return
+		}
+		b.successes++
+		if b.successes >= b.probesWanted() {
+			b.transitionLocked(Closed)
+		}
+	case Open:
+		// A straggler from before the trip; nothing to learn.
+	}
+}
+
+// Do runs fn under the breaker: Allow, then Record the outcome. When the
+// breaker rejects the call, fn is not run and ErrOpen is returned.
+func (b *Breaker) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn(ctx)
+	b.Record(err)
+	return err
+}

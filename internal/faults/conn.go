@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is a seeded fault-injection schedule for Conn. Rates are
+// probabilities in [0,1] evaluated independently per operation; the
+// seeded rng makes a given (Plan, operation sequence) pair reproduce the
+// exact same faults on every run, which is what lets the chaos tests run
+// under -count=2 without flaking.
+type Plan struct {
+	// Seed selects the fault schedule (0 behaves as 1).
+	Seed int64
+	// DropRate silently swallows a Write: the caller sees success but no
+	// bytes reach the peer — datagram loss for UDP, a black-holed send
+	// for TCP (the peer's read then times out).
+	DropRate float64
+	// DelayRate stalls an operation for Delay before performing it.
+	DelayRate float64
+	// Delay is the injected stall (default 10ms).
+	Delay time.Duration
+	// FailRate hard-fails an operation: the underlying connection is
+	// closed and ErrInjected returned — an abrupt peer reset.
+	FailRate float64
+	// TruncateRate writes only the first half of the buffer and then
+	// closes the connection — a mid-frame crash.
+	TruncateRate float64
+}
+
+func (p Plan) delay() time.Duration {
+	if p.Delay <= 0 {
+		return 10 * time.Millisecond
+	}
+	return p.Delay
+}
+
+// Conn wraps a net.Conn, injecting faults per a seeded Plan. It is safe
+// for the usual net.Conn discipline (one reader, one writer).
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Injected fault counts, for test assertions.
+	drops     atomic.Int64
+	delays    atomic.Int64
+	failures  atomic.Int64
+	truncates atomic.Int64
+}
+
+// WrapConn wraps c with the plan's fault schedule.
+func WrapConn(c net.Conn, plan Plan) *Conn {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Conn{Conn: c, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drops, Delays, Failures, and Truncates report how many faults of each
+// kind have fired.
+func (c *Conn) Drops() int64     { return c.drops.Load() }
+func (c *Conn) Delays() int64    { return c.delays.Load() }
+func (c *Conn) Failures() int64  { return c.failures.Load() }
+func (c *Conn) Truncates() int64 { return c.truncates.Load() }
+
+// roll draws one uniform variate under the schedule lock.
+func (c *Conn) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// Read applies delay and hard-failure faults before reading.
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.plan.DelayRate > 0 && c.roll() < c.plan.DelayRate {
+		c.delays.Add(1)
+		time.Sleep(c.plan.delay())
+	}
+	if c.plan.FailRate > 0 && c.roll() < c.plan.FailRate {
+		c.failures.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(b)
+}
+
+// Write applies drop, delay, truncate, and hard-failure faults.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.plan.DelayRate > 0 && c.roll() < c.plan.DelayRate {
+		c.delays.Add(1)
+		time.Sleep(c.plan.delay())
+	}
+	if c.plan.FailRate > 0 && c.roll() < c.plan.FailRate {
+		c.failures.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if c.plan.TruncateRate > 0 && c.roll() < c.plan.TruncateRate {
+		c.truncates.Add(1)
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return n, ErrInjected
+	}
+	if c.plan.DropRate > 0 && c.roll() < c.plan.DropRate {
+		c.drops.Add(1)
+		return len(b), nil // swallowed: success reported, nothing sent
+	}
+	return c.Conn.Write(b)
+}
+
+// Dialer is the dial hook shared by the clients, matching
+// (*net.Dialer).DialContext. It exists so fault injection can be slid
+// under any client without that client importing test code.
+type Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// FaultyDialer wraps base so every dialed connection carries the plan.
+// Each connection derives its own schedule seed from the plan seed and a
+// dial counter, so reconnecting does not replay the identical faults
+// (which could live-lock a retry loop against a deterministic drop).
+func FaultyDialer(base Dialer, plan Plan) Dialer {
+	if base == nil {
+		d := &net.Dialer{}
+		base = d.DialContext
+	}
+	var dials atomic.Int64
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		conn, err := base(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		p := plan
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		p.Seed += dials.Add(1) * 7919 // distinct schedule per connection
+		return WrapConn(conn, p), nil
+	}
+}

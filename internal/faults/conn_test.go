@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory connection.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestConnDropSwallowsWrite(t *testing.T) {
+	a, b := pipePair(t)
+	fc := WrapConn(a, Plan{Seed: 3, DropRate: 1})
+	n, err := fc.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("dropped write: n=%d err=%v", n, err)
+	}
+	if fc.Drops() != 1 {
+		t.Fatalf("drops = %d", fc.Drops())
+	}
+	// Nothing must arrive at the peer.
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer received a dropped write")
+	}
+}
+
+func TestConnFailClosesUnderlying(t *testing.T) {
+	a, _ := pipePair(t)
+	fc := WrapConn(a, Plan{Seed: 3, FailRate: 1})
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if fc.Failures() != 1 {
+		t.Fatalf("failures = %d", fc.Failures())
+	}
+	// The underlying conn is now closed: plain writes fail too.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn still open after injected failure")
+	}
+}
+
+func TestConnTruncateWritesHalf(t *testing.T) {
+	a, b := pipePair(t)
+	fc := WrapConn(a, Plan{Seed: 3, TruncateRate: 1})
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := io.ReadFull(b, buf)
+		got <- n
+	}()
+	_, err := fc.Write([]byte("12345678"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := <-got; n != 4 {
+		t.Fatalf("peer saw %d bytes, want the truncated 4", n)
+	}
+}
+
+func TestConnScheduleIsDeterministic(t *testing.T) {
+	run := func() (drops int64) {
+		a, b := pipePair(t)
+		go io.Copy(io.Discard, b)
+		fc := WrapConn(a, Plan{Seed: 99, DropRate: 0.5})
+		for i := 0; i < 64; i++ {
+			fc.Write([]byte("payload"))
+		}
+		return fc.Drops()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("same seed, different schedules: %d vs %d drops", first, second)
+	}
+	if first == 0 || first == 64 {
+		t.Fatalf("drop schedule degenerate: %d/64", first)
+	}
+}
+
+func TestFaultyDialerVariesSchedulePerConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	dial := FaultyDialer(nil, Plan{Seed: 7, DropRate: 0.5})
+	counts := make(map[int64]int)
+	for i := 0; i < 3; i++ {
+		conn, err := dial(context.Background(), "tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := conn.(*Conn)
+		for j := 0; j < 32; j++ {
+			fc.Write([]byte("x"))
+		}
+		counts[fc.Drops()]++
+		conn.Close()
+	}
+	if len(counts) == 1 && counts[0] == 3 {
+		t.Fatal("no faults injected at all")
+	}
+}

@@ -1,0 +1,50 @@
+package faults
+
+import "io"
+
+// Reader wraps an io.Reader and fails with Err once FailAfter bytes have
+// been delivered — the "snapshot source whose disk dies mid-file" the
+// ingest robustness tests need. A FailAfter of 0 fails on the first
+// Read.
+type Reader struct {
+	R io.Reader
+	// FailAfter is how many bytes to deliver before failing.
+	FailAfter int64
+	// Err is the injected error (default ErrInjected).
+	Err error
+
+	n int64
+}
+
+// NewReader returns a Reader failing with ErrInjected after n bytes.
+func NewReader(r io.Reader, n int64) *Reader {
+	return &Reader{R: r, FailAfter: n}
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Read delivers bytes until the failure point, then returns the injected
+// error forever.
+func (r *Reader) Read(p []byte) (int, error) {
+	remaining := r.FailAfter - r.n
+	if remaining <= 0 {
+		return 0, r.err()
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	if err == io.EOF {
+		return n, io.EOF // source ended before the scheduled failure
+	}
+	if err == nil && r.n >= r.FailAfter {
+		err = r.err()
+	}
+	return n, err
+}

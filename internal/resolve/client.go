@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
+	"repro/internal/faults"
 )
 
 // Stub is a minimal stub resolver that queries one authoritative server
@@ -35,6 +36,15 @@ type Stub struct {
 	Timeout time.Duration
 	// Retries is the number of additional attempts (default 2).
 	Retries int
+	// Backoff is the sleep before the first retry; attempts double it up
+	// to ten times the base, with jitter. Zero means retry immediately,
+	// the right default for UDP where the first attempt likely just
+	// vanished.
+	Backoff time.Duration
+	// Dialer overrides how connections are dialed (both UDP and the TCP
+	// truncation fallback). It exists so fault injection can be slid
+	// under the resolver; nil uses net.Dialer with the attempt timeout.
+	Dialer faults.Dialer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -91,42 +101,57 @@ func (s *Stub) Query(ctx context.Context, name dnsname.Name, qtype dnswire.Type)
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error = ErrNoResponse
-	for attempt := 0; attempt <= s.retries(); attempt++ {
-		resp, err := s.exchange(ctx, wire, query.Header.ID, name, qtype)
-		if err == nil {
-			if resp.Header.Truncated && !s.NoTCPFallback {
-				return s.exchangeTCP(ctx, wire, query.Header.ID, name, qtype)
-			}
-			return resp, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		// Timeouts retry; anything structural does not.
-		var ne net.Error
-		if !errors.As(err, &ne) || !ne.Timeout() {
-			if !errors.Is(err, ErrNoResponse) {
-				return nil, err
-			}
-		}
+	// Timeouts and lost datagrams retry; anything structural (a
+	// mismatched question, a decode failure) will repeat identically and
+	// does not. faults.Retry checks ctx before every attempt and aborts
+	// any backoff sleep on cancellation.
+	policy := faults.Policy{
+		MaxAttempts: s.retries() + 1,
+		BaseDelay:   s.Backoff,
+		MaxDelay:    10 * s.Backoff,
+		Retryable: func(err error) bool {
+			return faults.IsTimeout(err) || errors.Is(err, ErrNoResponse)
+		},
 	}
-	return nil, lastErr
+	if s.Backoff <= 0 {
+		policy.BaseDelay = -1 // retry immediately
+	}
+	var resp *dnswire.Message
+	err = faults.Retry(ctx, policy, func(ctx context.Context) error {
+		r, err := s.exchange(ctx, wire, query.Header.ID, name, qtype)
+		if err != nil {
+			return err
+		}
+		if r.Header.Truncated && !s.NoTCPFallback {
+			if r, err = s.exchangeTCP(ctx, wire, query.Header.ID, name, qtype); err != nil {
+				return err
+			}
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// dial resolves the configured dialer.
+func (s *Stub) dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	if s.Dialer != nil {
+		return s.Dialer(ctx, network, addr)
+	}
+	d := net.Dialer{Timeout: s.timeout()}
+	return d.DialContext(ctx, network, addr)
 }
 
 func (s *Stub) exchange(ctx context.Context, wire []byte, id uint16, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
-	d := net.Dialer{Timeout: s.timeout()}
-	conn, err := d.DialContext(ctx, "udp", s.Server)
+	conn, err := s.dial(ctx, "udp", s.Server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(s.timeout())
-	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
-		deadline = ctxDeadline
-	}
-	if err := conn.SetDeadline(deadline); err != nil {
+	if err := faults.SetConnDeadline(conn, ctx, s.timeout()); err != nil {
 		return nil, err
 	}
 	if _, err := conn.Write(wire); err != nil {
@@ -158,17 +183,12 @@ func (s *Stub) exchangeTCP(ctx context.Context, wire []byte, id uint16, name dns
 	if addr == "" {
 		addr = s.Server
 	}
-	d := net.Dialer{Timeout: s.timeout()}
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := s.dial(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(s.timeout())
-	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
-		deadline = ctxDeadline
-	}
-	if err := conn.SetDeadline(deadline); err != nil {
+	if err := faults.SetConnDeadline(conn, ctx, s.timeout()); err != nil {
 		return nil, err
 	}
 	framed := make([]byte, 2+len(wire))

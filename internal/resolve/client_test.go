@@ -2,7 +2,9 @@ package resolve
 
 import (
 	"context"
+	"errors"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -92,6 +94,44 @@ func TestStubRejectsMismatchedQuestion(t *testing.T) {
 	defer cancel()
 	if _, err := stub.Query(ctx, "x.example.com", dnswire.TypeA); err == nil {
 		t.Fatal("mismatched question should be rejected")
+	}
+}
+
+func TestStubCanceledContextSendsNothing(t *testing.T) {
+	var queries atomic.Int64
+	addr := fakeAuth(t, func(q *dnswire.Message) [][]byte {
+		queries.Add(1)
+		return [][]byte{answer(q, q.Header.ID)}
+	})
+	stub := &Stub{Server: addr, Timeout: 300 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stub.Query(ctx, "x.example.com", dnswire.TypeA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if queries.Load() != 0 {
+		t.Fatalf("canceled context still sent %d queries", queries.Load())
+	}
+}
+
+func TestStubCancellationBetweenAttempts(t *testing.T) {
+	// A silent server forces retries; cancelling after the first attempt
+	// must end the query without burning the remaining attempts.
+	addr := fakeAuth(t, func(*dnswire.Message) [][]byte { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	stub := &Stub{Server: addr, Timeout: 80 * time.Millisecond, Retries: 50}
+	start := time.Now()
+	_, err := stub.Query(ctx, "x.example.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("canceled query should fail")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not stop the retry loop")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/dates"
@@ -20,9 +21,21 @@ import (
 //	G ns1.x.net 2011-04-01 2016-07-13
 //
 // It is trivially greppable and diffable, round-trips exactly, and
-// compresses well if the caller wraps the writer.
+// compresses well if the caller wraps the writer. Output is canonical:
+// records are sorted, so two DBs holding the same facts archive to
+// identical bytes regardless of ingestion order.
 
 const archiveMagic = "dzdb 1"
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // WriteArchive archives the database. The DB must be closed first so every
 // span is materialized.
@@ -35,18 +48,28 @@ func (db *DB) WriteArchive(w io.Writer) error {
 	for _, z := range db.Zones() {
 		fmt.Fprintf(bw, "Z %s\n", z)
 	}
-	for d, spans := range db.domains {
-		for _, r := range spans.Spans() {
+	for _, d := range sortedKeys(db.domains) {
+		for _, r := range db.domains[d].Spans() {
 			fmt.Fprintf(bw, "D %s %s %s\n", d, r.First, r.Last)
 		}
 	}
-	for h, spans := range db.glue {
-		for _, r := range spans.Spans() {
+	for _, h := range sortedKeys(db.glue) {
+		for _, r := range db.glue[h].Spans() {
 			fmt.Fprintf(bw, "G %s %s %s\n", h, r.First, r.Last)
 		}
 	}
-	for e, spans := range db.edges {
-		for _, r := range spans.Spans() {
+	edges := make([]Edge, 0, len(db.edges))
+	for e := range db.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Domain != edges[j].Domain {
+			return edges[i].Domain < edges[j].Domain
+		}
+		return edges[i].NS < edges[j].NS
+	})
+	for _, e := range edges {
+		for _, r := range db.edges[e].Spans() {
 			fmt.Fprintf(bw, "E %s %s %s %s\n", e.Domain, e.NS, r.First, r.Last)
 		}
 	}

@@ -1,12 +1,40 @@
 package zonedb
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/dnszone"
+	"repro/internal/obs"
 )
+
+// Sentinel errors for snapshot validation. AddSnapshot and IngestAll wrap
+// them with zone/date context; match with errors.Is.
+var (
+	// ErrSnapshotUndated reports a snapshot whose date is dates.None.
+	ErrSnapshotUndated = errors.New("zonedb: snapshot has no date")
+	// ErrSnapshotOutOfOrder reports a snapshot dated at or before the
+	// zone's previous snapshot.
+	ErrSnapshotOutOfOrder = errors.New("zonedb: snapshot out of order")
+	// ErrSnapshotGap reports a gap of more than one day since the zone's
+	// previous snapshot.
+	ErrSnapshotGap = errors.New("zonedb: snapshot gap")
+	// ErrSnapshotCorrupt reports a snapshot that could not be read or
+	// parsed at all.
+	ErrSnapshotCorrupt = errors.New("zonedb: snapshot corrupt")
+	// ErrTooManyQuarantined reports that degraded mode hit its
+	// MaxQuarantine budget — the input is worse than the operator was
+	// willing to tolerate.
+	ErrTooManyQuarantined = errors.New("zonedb: too many snapshots quarantined")
+)
+
+// MetricQuarantined counts snapshots quarantined in degraded mode,
+// labeled by zone and reason.
+const MetricQuarantined = "zonedb_snapshots_quarantined_total"
 
 // Ingester builds a DB from daily zone-file snapshots — the literal form
 // of the paper's input (CAIDA-DZDB is derived from daily zone files).
@@ -22,10 +50,23 @@ import (
 // zone files and registry databases the paper works around with
 // DomainTools data.
 type Ingester struct {
+	// Degraded quarantines invalid snapshots (recording them in the
+	// quarantine report) instead of aborting the ingest. Validation runs
+	// before any DB mutation, so a degraded ingest produces a DB
+	// identical to a strict ingest of only the valid snapshots.
+	Degraded bool
+	// MaxQuarantine, when positive, bounds how many snapshots degraded
+	// mode will quarantine before giving up with ErrTooManyQuarantined.
+	MaxQuarantine int
+	// Obs, when set, records quarantined snapshots under
+	// MetricQuarantined. Nil disables metrics.
+	Obs *obs.Registry
+
 	db *DB
 	// prev holds the previous snapshot's contents per zone.
-	prev map[dnsname.Name]*snapState
-	last dates.Day
+	prev        map[dnsname.Name]*snapState
+	last        dates.Day
+	quarantined []QuarantinedSnapshot
 }
 
 type snapState struct {
@@ -40,13 +81,167 @@ func NewIngester() *Ingester {
 	return &Ingester{db: New(), prev: make(map[dnsname.Name]*snapState), last: dates.None}
 }
 
+// QuarantinedSnapshot is one snapshot skipped by degraded mode.
+type QuarantinedSnapshot struct {
+	// Zone is empty when the snapshot was too corrupt to identify.
+	Zone dnsname.Name
+	// Date is dates.None when unknown.
+	Date dates.Day
+	// Source names where the snapshot came from (a file path), when the
+	// ingest ran from a SnapshotSource.
+	Source string
+	// Reason is the sentinel's short name: "undated", "out-of-order",
+	// "gap", or "corrupt".
+	Reason string
+	// Err is the full validation error.
+	Err error
+}
+
+// QuarantineReport summarises the snapshots skipped in degraded mode.
+type QuarantineReport struct {
+	Entries []QuarantinedSnapshot
+}
+
+// Total returns the number of quarantined snapshots.
+func (r QuarantineReport) Total() int { return len(r.Entries) }
+
+// ByZone returns quarantine counts per zone; unidentifiable snapshots
+// count under the empty name.
+func (r QuarantineReport) ByZone() map[dnsname.Name]int {
+	out := make(map[dnsname.Name]int)
+	for _, e := range r.Entries {
+		out[e.Zone]++
+	}
+	return out
+}
+
+// String renders a one-line summary, e.g. "3 quarantined (com: 2 [gap 1,
+// out-of-order 1], ?: 1 [corrupt 1])".
+func (r QuarantineReport) String() string {
+	if len(r.Entries) == 0 {
+		return "0 quarantined"
+	}
+	type key struct {
+		zone   dnsname.Name
+		reason string
+	}
+	counts := make(map[key]int)
+	zones := make(map[dnsname.Name]int)
+	for _, e := range r.Entries {
+		counts[key{e.Zone, e.Reason}]++
+		zones[e.Zone]++
+	}
+	var names []dnsname.Name
+	for z := range zones {
+		names = append(names, z)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d quarantined (", len(r.Entries))
+	for i, z := range names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		label := string(z)
+		if label == "" {
+			label = "?"
+		}
+		fmt.Fprintf(&sb, "%s: %d [", label, zones[z])
+		var reasons []string
+		for k := range counts {
+			if k.zone == z {
+				reasons = append(reasons, k.reason)
+			}
+		}
+		sort.Strings(reasons)
+		for j, reason := range reasons {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %d", reason, counts[key{z, reason}])
+		}
+		sb.WriteString("]")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Quarantine returns the report of snapshots skipped so far.
+func (ing *Ingester) Quarantine() QuarantineReport {
+	return QuarantineReport{Entries: ing.quarantined}
+}
+
+// reason maps a validation error onto its metric/report label.
+func reason(err error) string {
+	switch {
+	case errors.Is(err, ErrSnapshotUndated):
+		return "undated"
+	case errors.Is(err, ErrSnapshotOutOfOrder):
+		return "out-of-order"
+	case errors.Is(err, ErrSnapshotGap):
+		return "gap"
+	case errors.Is(err, ErrSnapshotCorrupt):
+		return "corrupt"
+	default:
+		return "other"
+	}
+}
+
+// reject handles an invalid snapshot: strict mode surfaces the error,
+// degraded mode quarantines it and reports success so ingestion can
+// continue, up to the MaxQuarantine budget.
+func (ing *Ingester) reject(zone dnsname.Name, date dates.Day, source string, err error) error {
+	if !ing.Degraded {
+		return err
+	}
+	if ing.MaxQuarantine > 0 && len(ing.quarantined) >= ing.MaxQuarantine {
+		return fmt.Errorf("%w (limit %d): %v", ErrTooManyQuarantined, ing.MaxQuarantine, err)
+	}
+	why := reason(err)
+	ing.quarantined = append(ing.quarantined, QuarantinedSnapshot{
+		Zone: zone, Date: date, Source: source, Reason: why, Err: err,
+	})
+	if ing.Obs != nil {
+		label := string(zone)
+		if label == "" {
+			label = "unknown"
+		}
+		ing.Obs.CounterVec(MetricQuarantined,
+			"Snapshots quarantined by degraded-mode ingest.",
+			"zone", "reason").With(label, why).Inc()
+	}
+	return nil
+}
+
+// validate checks a snapshot against the zone's ingest history without
+// touching the DB.
+func (ing *Ingester) validate(snap *dnszone.Snapshot) error {
+	if snap.Date == dates.None {
+		return fmt.Errorf("%w: zone %s", ErrSnapshotUndated, snap.Zone)
+	}
+	if prev := ing.prev[snap.Zone]; prev != nil {
+		switch {
+		case snap.Date <= prev.date:
+			return fmt.Errorf("%w: %s snapshot for %s arrived after %s", ErrSnapshotOutOfOrder, snap.Zone, snap.Date, prev.date)
+		case snap.Date > prev.date+1:
+			return fmt.Errorf("%w: %s jumps %s -> %s", ErrSnapshotGap, snap.Zone, prev.date, snap.Date)
+		}
+	}
+	return nil
+}
+
 // AddSnapshot ingests one zone's snapshot for one day. Snapshots for a
 // given zone must arrive in chronological order; a gap of more than one
 // day is rejected (interval semantics would silently differ from daily
-// collection otherwise).
+// collection otherwise). In degraded mode invalid snapshots are
+// quarantined instead, and AddSnapshot reports success.
 func (ing *Ingester) AddSnapshot(snap *dnszone.Snapshot) error {
-	if snap.Date == dates.None {
-		return fmt.Errorf("zonedb: snapshot for %s has no date", snap.Zone)
+	return ing.addSnapshot(snap, "")
+}
+
+func (ing *Ingester) addSnapshot(snap *dnszone.Snapshot, source string) error {
+	if err := ing.validate(snap); err != nil {
+		return ing.reject(snap.Zone, snap.Date, source, err)
 	}
 	cur := &snapState{
 		date:  snap.Date,
@@ -65,14 +260,6 @@ func (ing *Ingester) AddSnapshot(snap *dnszone.Snapshot) error {
 	}
 
 	prev := ing.prev[snap.Zone]
-	if prev != nil {
-		switch {
-		case snap.Date <= prev.date:
-			return fmt.Errorf("zonedb: %s snapshot for %s arrived after %s", snap.Zone, snap.Date, prev.date)
-		case snap.Date > prev.date+1:
-			return fmt.Errorf("zonedb: %s snapshot gap: %s -> %s", snap.Zone, prev.date, snap.Date)
-		}
-	}
 	// New facts open intervals; vanished facts close them.
 	for e := range cur.edges {
 		if prev == nil || !prev.edges[e] {

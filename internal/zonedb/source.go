@@ -1,0 +1,79 @@
+package zonedb
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+
+	"repro/internal/dates"
+	"repro/internal/dnszone"
+)
+
+// SnapshotSource yields snapshots in the order they should be ingested.
+type SnapshotSource interface {
+	// Next returns the next snapshot and a name for diagnostics (a file
+	// path), or io.EOF when exhausted. A snapshot that cannot be read or
+	// parsed returns a non-nil error with the name still set; the
+	// iterator stays usable, so degraded ingestion can move on.
+	Next() (snap *dnszone.Snapshot, name string, err error)
+}
+
+// FileSource reads master-file snapshots from a filesystem, in the given
+// path order. Paths should be sorted so each zone's snapshots arrive
+// chronologically — the date-stamped naming scheme (zone-YYYY-MM-DD)
+// makes lexical order chronological.
+type FileSource struct {
+	FS    fs.FS
+	Paths []string
+	// Wrap, when set, wraps each file's reader — the hook the chaos
+	// tests use to inject mid-file read failures.
+	Wrap func(io.Reader) io.Reader
+
+	next int
+}
+
+// Next implements SnapshotSource.
+func (f *FileSource) Next() (*dnszone.Snapshot, string, error) {
+	if f.next >= len(f.Paths) {
+		return nil, "", io.EOF
+	}
+	path := f.Paths[f.next]
+	f.next++
+	file, err := f.FS.Open(path)
+	if err != nil {
+		return nil, path, err
+	}
+	defer file.Close()
+	var r io.Reader = file
+	if f.Wrap != nil {
+		r = f.Wrap(file)
+	}
+	snap, err := dnszone.Read(r)
+	if err != nil {
+		return nil, path, err
+	}
+	return snap, path, nil
+}
+
+// IngestAll drains src into the ingester. In strict mode the first
+// invalid snapshot aborts the ingest with its error; in degraded mode
+// invalid snapshots — unreadable, unparseable, undated, out of order, or
+// gapped — are quarantined and ingestion continues with the rest.
+func (ing *Ingester) IngestAll(src SnapshotSource) error {
+	for {
+		snap, name, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			wrapped := fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+			if rerr := ing.reject("", dates.None, name, wrapped); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if err := ing.addSnapshot(snap, name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+}

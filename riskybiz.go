@@ -32,7 +32,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dates"
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/zonedb"
 )
 
 // Options configures an end-to-end study.
@@ -62,6 +64,19 @@ type Options struct {
 	// KeepAccidentNS includes the Namecheap-accident nameservers in the
 	// analyses instead of excluding them as the paper does.
 	KeepAccidentNS bool
+	// Reingest rebuilds the zone database by exporting the simulated
+	// world's daily snapshots and feeding them back through the
+	// snapshot differ before detection — the exact pipeline a
+	// zone-file-based deployment runs.
+	Reingest bool
+	// StrictIngest aborts the re-ingest on the first invalid snapshot;
+	// by default invalid snapshots are quarantined (degraded mode) and
+	// reported in Study.Quarantine.
+	StrictIngest bool
+	// MaxQuarantine bounds degraded-mode quarantining (0 = unlimited).
+	MaxQuarantine int
+	// Obs, when set, receives ingest metrics from the re-ingest.
+	Obs *obs.Registry
 }
 
 // Study bundles the outcome of a full pipeline run.
@@ -69,6 +84,11 @@ type Study struct {
 	World    *sim.World
 	Result   *detect.Result
 	Analysis *analysis.Analysis
+	// DB is the zone database detection ran over: the world's live DB,
+	// or the re-ingested one when Options.Reingest was set.
+	DB *zonedb.DB
+	// Quarantine reports snapshots skipped by a degraded re-ingest.
+	Quarantine zonedb.QuarantineReport
 	// Window is the paper's measurement window (Apr 2011 - Sep 2020).
 	Window dates.Range
 }
@@ -98,8 +118,17 @@ func Run(opts Options) (*Study, error) {
 	if err := world.Run(); err != nil {
 		return nil, fmt.Errorf("riskybiz: simulating: %w", err)
 	}
+	db := world.ZoneDB()
+	var quarantine zonedb.QuarantineReport
+	if opts.Reingest {
+		reingested, report, err := reingest(world, opts)
+		if err != nil {
+			return nil, err
+		}
+		db, quarantine = reingested, report
+	}
 	det := &detect.Detector{
-		DB:    world.ZoneDB(),
+		DB:    db,
 		WHOIS: world.WHOIS(),
 		Dir:   world.Directory(),
 		Cfg:   opts.Detector,
@@ -111,6 +140,27 @@ func Run(opts Options) (*Study, error) {
 	if opts.KeepAccidentNS {
 		excludeNS = nil
 	}
-	an := analysis.New(result, world.ZoneDB(), window, excludeNS).WithWHOIS(world.WHOIS())
-	return &Study{World: world, Result: result, Analysis: an, Window: window}, nil
+	an := analysis.New(result, db, window, excludeNS).WithWHOIS(world.WHOIS())
+	return &Study{World: world, Result: result, Analysis: an,
+		DB: db, Quarantine: quarantine, Window: window}, nil
+}
+
+// reingest exports the world's daily zone snapshots and rebuilds the
+// database through the snapshot differ, honouring the fault-tolerance
+// options.
+func reingest(world *sim.World, opts Options) (*zonedb.DB, zonedb.QuarantineReport, error) {
+	src := world.ZoneDB()
+	ing := zonedb.NewIngester()
+	ing.Degraded = !opts.StrictIngest
+	ing.MaxQuarantine = opts.MaxQuarantine
+	ing.Obs = opts.Obs
+	cfg := world.Config()
+	for day := cfg.Start; day <= cfg.End; day++ {
+		for _, zone := range src.Zones() {
+			if err := ing.AddSnapshot(src.SnapshotOn(zone, day)); err != nil {
+				return nil, zonedb.QuarantineReport{}, fmt.Errorf("riskybiz: reingest %s@%s: %w", zone, day, err)
+			}
+		}
+	}
+	return ing.Finish(), ing.Quarantine(), nil
 }
