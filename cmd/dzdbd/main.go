@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -45,7 +46,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	load := flag.String("load", "", "load a zone-database archive instead of simulating")
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 
 	logger := obs.NewLogger("dzdbd")
 	fatal := func(msg string, err error) {
@@ -53,6 +59,7 @@ func main() {
 		os.Exit(1)
 	}
 	reg := obs.Default
+	reg.RegisterBuildInfo()
 	detect.RegisterMetrics(reg)
 
 	var db *zonedb.DB
@@ -96,7 +103,9 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", dzdbapi.NewWithRegistry(db, reg))
+	api := dzdbapi.NewWithRegistry(db, reg)
+	api.Log = logger
+	mux.Handle("/", api)
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/dnsname"
 	"repro/internal/eppserver"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 )
 
@@ -39,7 +41,12 @@ func main() {
 	tlds := flag.String("tlds", "com,net,edu,gov", "comma-separated TLDs in the repository")
 	date := flag.String("date", "2020-09-15", "server clock date (YYYY-MM-DD)")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 
 	logger := obs.NewLogger("eppd")
 	fatal := func(msg string, err error) {
@@ -60,10 +67,14 @@ func main() {
 		zones = append(zones, z)
 	}
 	reg := registry.New(*name, nil, zones...)
+	obs.Default.RegisterBuildInfo()
 	srv := eppserver.New(reg)
 	srv.Clock = func() dates.Day { return day }
 	srv.Log = logger
 	srv.Obs = obs.Default
+	// Recover client trace contexts from clTRIDs so command logs carry
+	// the caller's trace_id.
+	srv.Tracer = trace.New()
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {

@@ -1,0 +1,206 @@
+// Command riskybench measures the reproduction pipeline's performance
+// trajectory: it times the three heavyweight workloads (ecosystem
+// simulation, snapshot re-ingest, detection) over repeated runs and
+// writes a machine-readable BENCH_pipeline.json — ns/op, items/sec, and
+// allocation counts per workload, plus per-stage span rollups from the
+// trace journal. CI archives the file on every run so regressions show
+// up as a trajectory, not an anecdote.
+//
+// Usage:
+//
+//	riskybench [-scale 6] [-seed 1] [-runs 3] [-out BENCH_pipeline.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/sim"
+	"repro/internal/zonedb"
+)
+
+var logger = obs.NewLogger("riskybench")
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// workloadResult is one benchmarked workload, averaged over Runs.
+type workloadResult struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	ItemsPerOp  int     `json:"items_per_op"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_pipeline.json schema.
+type report struct {
+	Build     string           `json:"build"`
+	GoVersion string           `json:"go_version"`
+	Scale     float64          `json:"scale"`
+	Seed      int64            `json:"seed"`
+	Runs      int              `json:"runs"`
+	Workloads []workloadResult `json:"workloads"`
+	// Stages are per-span-name rollups of the trace journal recorded
+	// across all benchmark runs (detect.extract, detect.mine, ...).
+	Stages []trace.Rollup `json:"stages"`
+}
+
+// measure runs fn runs times, averaging wall time and allocation deltas.
+// fn returns the number of items it processed (domains, snapshots, ...).
+func measure(name string, runs int, fn func() int) workloadResult {
+	var ns, allocs, bytes int64
+	items := 0
+	var ms runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		m0, b0 := ms.Mallocs, ms.TotalAlloc
+		t0 := time.Now()
+		items = fn()
+		ns += time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		allocs += int64(ms.Mallocs - m0)
+		bytes += int64(ms.TotalAlloc - b0)
+	}
+	res := workloadResult{
+		Name: name, Runs: runs,
+		NsPerOp:     ns / int64(runs),
+		ItemsPerOp:  items,
+		AllocsPerOp: allocs / int64(runs),
+		BytesPerOp:  bytes / int64(runs),
+	}
+	if res.NsPerOp > 0 {
+		res.ItemsPerSec = float64(items) / (float64(res.NsPerOp) / 1e9)
+	}
+	logger.Info("workload done", "name", name, "ns_per_op", res.NsPerOp,
+		"items", items, "allocs_per_op", res.AllocsPerOp)
+	return res
+}
+
+func main() {
+	scale := flag.Float64("scale", 6, "mean new domain registrations per simulated day")
+	seed := flag.Int64("seed", 1, "random seed")
+	runs := flag.Int("runs", 3, "repetitions per workload (results are averaged)")
+	out := flag.String("out", "BENCH_pipeline.json", "output file (\"-\" = stdout)")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	tracer := trace.New()
+	ctx, root := tracer.Start(context.Background(), "riskybench")
+
+	// The reference world is built once, outside any timing window; the
+	// ingest and detect workloads reuse it so their inputs are identical
+	// across runs.
+	cfg := sim.DefaultConfig(*scale)
+	cfg.Seed = *seed
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		fatalf("building world: %v", err)
+	}
+	if err := world.Run(); err != nil {
+		fatalf("simulating: %v", err)
+	}
+	db := world.ZoneDB()
+	logger.Info("reference world built",
+		"domains", db.NumDomains(), "nameservers", db.NumNameservers())
+
+	var workloads []workloadResult
+
+	workloads = append(workloads, measure("simulate", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.simulate")
+		defer sp.End()
+		c := sim.DefaultConfig(*scale)
+		c.Seed = *seed
+		w, err := sim.NewWorld(c)
+		if err != nil {
+			fatalf("simulate workload: %v", err)
+		}
+		if err := w.Run(); err != nil {
+			fatalf("simulate workload: %v", err)
+		}
+		n := w.ZoneDB().NumDomains()
+		sp.SetAttrInt("items", n)
+		return n
+	}))
+
+	nSnaps := len(db.Zones()) * int(cfg.End-cfg.Start+1)
+	workloads = append(workloads, measure("ingest", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.ingest")
+		defer sp.End()
+		ing := zonedb.NewIngester()
+		for _, zone := range db.Zones() {
+			for day := cfg.Start; day <= cfg.End; day++ {
+				if err := ing.AddSnapshot(db.SnapshotOn(zone, day)); err != nil {
+					fatalf("ingest workload: %s@%s: %v", zone, day, err)
+				}
+			}
+		}
+		ing.Finish()
+		sp.SetAttrInt("items", nSnaps)
+		return nSnaps
+	}))
+
+	workloads = append(workloads, measure("detect", *runs, func() int {
+		det := &detect.Detector{DB: db, WHOIS: world.WHOIS(), Dir: world.Directory()}
+		res := det.RunContext(ctx)
+		return res.Funnel.Candidates
+	}))
+
+	root.End()
+
+	rep := report{
+		Build:     obs.Version(),
+		GoVersion: runtime.Version(),
+		Scale:     *scale,
+		Seed:      *seed,
+		Runs:      *runs,
+		Workloads: workloads,
+		Stages:    tracer.Rollups(),
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	if *out != "-" {
+		logger.Info("report written", "path", *out)
+	}
+}
+
+func writeReport(rep report, path string) error {
+	enc := func(w *os.File) error {
+		e := json.NewEncoder(w)
+		e.SetIndent("", "  ")
+		return e.Encode(rep)
+	}
+	if path == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -12,8 +12,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,6 +23,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/detect"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -48,13 +51,31 @@ func main() {
 	strict := flag.Bool("strict", false, "with -reingest, abort on the first invalid snapshot instead of quarantining it")
 	maxQuarantine := flag.Int("max-quarantine", 0, "with -reingest, abort after quarantining this many snapshots (0 = unlimited)")
 	saveSnapshots := flag.String("save-snapshots", "", "after simulating, write each zone's daily master-file snapshots into this directory")
+	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
+	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 
-	study, err := riskybiz.Run(riskybiz.Options{
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceChrome != "" {
+		tracer = trace.New()
+	}
+	ctx, root := tracer.Start(context.Background(), "riskybiz")
+
+	study, err := riskybiz.RunContext(ctx, riskybiz.Options{
 		Seed: *seed, DomainsPerDay: *scale,
 		Reingest: *reingest, StrictIngest: *strict, MaxQuarantine: *maxQuarantine,
 		Obs: obs.Default,
 	})
+	root.SetError(err)
+	root.End()
+	if terr := exportTraces(tracer, *traceOut, *traceChrome); terr != nil {
+		fatalf("writing trace: %v", terr)
+	}
 	if err != nil {
 		fatalf("run: %v", err)
 	}
@@ -118,6 +139,43 @@ func writeStatsJSON(stats *detect.RunStats, path string) error {
 		return err
 	}
 	if err := stats.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exportTraces writes the tracer's journal to the requested outputs
+// (empty paths skip an exporter; "-" selects stderr).
+func exportTraces(tracer *trace.Tracer, jsonlPath, chromePath string) error {
+	if tracer == nil {
+		return nil
+	}
+	if jsonlPath != "" {
+		if err := writeToFile(jsonlPath, tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := writeToFile(chromePath, tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if d := tracer.Dropped(); d > 0 {
+		logger.Warn("trace journal truncated", "dropped_spans", d)
+	}
+	return nil
+}
+
+func writeToFile(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
 		f.Close()
 		return err
 	}

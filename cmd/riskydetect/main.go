@@ -20,8 +20,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/dnsname"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/whois"
@@ -61,9 +64,25 @@ func main() {
 	snapshots := flag.String("snapshots", "", "build the zone DB by ingesting master-file snapshots matching this glob instead of PREFIX.dzdb")
 	strict := flag.Bool("strict", false, "with -snapshots, abort on the first invalid snapshot instead of quarantining it")
 	maxQuarantine := flag.Int("max-quarantine", 0, "with -snapshots, abort after quarantining this many snapshots (0 = unlimited)")
+	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
+	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 
-	db, who, exclude, err := loadDataset(*data, *snapshots, *strict, *maxQuarantine)
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceChrome != "" {
+		tracer = trace.New()
+	}
+	ctx, root := tracer.Start(context.Background(), "riskydetect")
+
+	lctx, lsp := trace.Start(ctx, "load.dataset")
+	db, who, exclude, err := loadDataset(lctx, *data, *snapshots, *strict, *maxQuarantine)
+	lsp.SetError(err)
+	lsp.End()
 	if err != nil {
 		fatalf("loading dataset: %v", err)
 	}
@@ -81,7 +100,7 @@ func main() {
 
 	det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory(),
 		Cfg: detect.Config{Workers: *workers}, Obs: obs.Default}
-	res := det.Run()
+	res := det.RunContext(ctx)
 	if *stats {
 		res.Stats.WriteReport(os.Stderr)
 	}
@@ -90,7 +109,13 @@ func main() {
 			fatalf("writing -stats-json: %v", err)
 		}
 	}
+	_, asp := trace.Start(ctx, "analysis.build")
 	an := analysis.New(res, db, dates.NewRange(first, last), exclude).WithWHOIS(who)
+	asp.End()
+	root.End()
+	if err := exportTraces(tracer, *traceOut, *traceChrome); err != nil {
+		fatalf("writing trace: %v", err)
+	}
 
 	if *jsonOut {
 		summary := an.Summarize(sim.NotificationDay, sim.FollowupDay)
@@ -128,26 +153,74 @@ func writeStatsJSON(stats *detect.RunStats, path string) error {
 	return f.Close()
 }
 
-func loadDataset(prefix, snapshots string, strict bool, maxQuarantine int) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
+// exportTraces writes the tracer's journal to the requested outputs
+// (empty paths skip an exporter; "-" selects stderr).
+func exportTraces(tracer *trace.Tracer, jsonlPath, chromePath string) error {
+	if tracer == nil {
+		return nil
+	}
+	if jsonlPath != "" {
+		if err := writeToFile(jsonlPath, tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := writeToFile(chromePath, tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if d := tracer.Dropped(); d > 0 {
+		logger.Warn("trace journal truncated", "dropped_spans", d)
+	}
+	return nil
+}
+
+func writeToFile(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadDataset(ctx context.Context, prefix, snapshots string, strict bool, maxQuarantine int) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
 	var db *zonedb.DB
 	var err error
 	if snapshots != "" {
+		_, sp := trace.Start(ctx, "load.snapshots")
 		db, err = ingestSnapshots(snapshots, strict, maxQuarantine)
+		sp.SetError(err)
+		sp.End()
 	} else {
+		_, sp := trace.Start(ctx, "load.archive")
 		db, err = loadArchive(prefix)
+		sp.SetError(err)
+		sp.End()
 	}
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	_, wsp := trace.Start(ctx, "load.whois")
+	defer wsp.End()
 	wf, err := os.Open(prefix + ".whois")
 	if err != nil {
+		wsp.SetError(err)
 		return nil, nil, nil, err
 	}
 	defer wf.Close()
 	who, err := whois.ReadFrom(bufio.NewReader(wf))
 	if err != nil {
+		wsp.SetError(err)
 		return nil, nil, nil, err
 	}
+	wsp.End()
 	var exclude []dnsname.Name
 	if ef, err := os.Open(prefix + ".exclude"); err == nil {
 		sc := bufio.NewScanner(ef)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/zonedb"
 )
@@ -29,7 +30,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	grep := flag.String("grep", "", "only lines containing this substring")
 	load := flag.String("load", "", "read a zone-database archive instead of simulating")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 
 	day, err := dates.Parse(*date)
 	if err != nil {

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/idioms"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 	"repro/internal/resolve"
 	"repro/internal/whois"
@@ -157,21 +159,26 @@ func (d *Detector) clock() func() time.Time {
 }
 
 // stage runs fn as one named pipeline stage: it times it, records an
-// obs span (when a registry is wired), and appends a StageTiming. fn
+// obs span (when a registry is wired) and a trace child span (when ctx
+// carries one), and appends a StageTiming. fn receives the stage's
+// trace context — extraction parents its worker spans on it — and
 // returns the number of items the stage processed.
-func (d *Detector) stage(stats *RunStats, name string, fn func() int) {
+func (d *Detector) stage(ctx context.Context, stats *RunStats, name string, fn func(ctx context.Context) int) {
 	now := d.clock()
 	var sp *obs.Span
 	if d.Obs != nil {
 		sp = d.Obs.StartSpan(name)
 	}
+	ctx, tsp := trace.Start(ctx, name)
 	t0 := now()
-	n := fn()
+	n := fn(ctx)
 	dur := now().Sub(t0)
 	if sp != nil {
 		sp.AddItems(n)
 		sp.End()
 	}
+	tsp.SetAttrInt("items", n)
+	tsp.End()
 	stats.Stages = append(stats.Stages, StageTiming{Stage: name, Duration: dur, Items: n})
 }
 
@@ -183,8 +190,10 @@ type candidate struct {
 
 // extractCandidates runs stage 1 (§3.2.1) over every observed
 // nameserver, optionally in parallel. busy holds each worker's busy
-// time (one entry in sequential mode) for the utilization report.
-func (d *Detector) extractCandidates() (total int, candidates []candidate, busy []time.Duration) {
+// time (one entry in sequential mode) for the utilization report. Each
+// parallel worker runs as a child span of ctx so shard imbalance is
+// visible in the trace.
+func (d *Detector) extractCandidates(ctx context.Context) (total int, candidates []candidate, busy []time.Duration) {
 	now := d.clock()
 	var all []dnsname.Name
 	d.DB.Nameservers(func(ns dnsname.Name) bool {
@@ -213,6 +222,8 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate, busy 
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				_, wsp := trace.Start(ctx, "detect.extract.worker")
+				wsp.SetAttrInt("worker", w)
 				t0 := now()
 				static := resolve.NewStatic(d.DB)
 				var mine []candidate
@@ -224,6 +235,8 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate, busy 
 				}
 				results[w] = mine
 				busy[w] = now().Sub(t0)
+				wsp.SetAttrInt("items", (len(all)+workers-1-w)/workers)
+				wsp.End()
 			}(w)
 		}
 		wg.Wait()
@@ -237,6 +250,16 @@ func (d *Detector) extractCandidates() (total int, candidates []candidate, busy 
 
 // Run executes the full methodology.
 func (d *Detector) Run() *Result {
+	return d.RunContext(context.Background())
+}
+
+// RunContext executes the full methodology with each pipeline stage
+// running as a child span of the trace carried by ctx (see
+// internal/obs/trace); with no trace in ctx it behaves exactly like
+// Run.
+func (d *Detector) RunContext(ctx context.Context) *Result {
+	ctx, rsp := trace.Start(ctx, "detect.run")
+	defer rsp.End()
 	now := d.clock()
 	start := now()
 	res := &Result{byNS: make(map[dnsname.Name]int)}
@@ -247,9 +270,9 @@ func (d *Detector) Run() *Result {
 
 	// Stage 1: unresolvable-at-first-reference candidates.
 	var candidates []candidate
-	d.stage(stats, StageExtract, func() int {
+	d.stage(ctx, stats, StageExtract, func(ctx context.Context) int {
 		var total int
-		total, candidates, stats.WorkerBusy = d.extractCandidates()
+		total, candidates, stats.WorkerBusy = d.extractCandidates(ctx)
 		res.Funnel.TotalNameservers = total
 		return total
 	})
@@ -258,7 +281,7 @@ func (d *Detector) Run() *Result {
 	// Stage 2a: mine patterns (reporting; classification uses the
 	// confirmed catalog, as the paper confirmed idioms with registrars).
 	if !d.Cfg.SkipMining {
-		d.stage(stats, StageMine, func() int {
+		d.stage(ctx, stats, StageMine, func(context.Context) int {
 			names := make([]dnsname.Name, len(candidates))
 			for i, c := range candidates {
 				names[i] = c.ns
@@ -268,7 +291,7 @@ func (d *Detector) Run() *Result {
 		})
 	}
 
-	d.stage(stats, StageClassify, func() int {
+	d.stage(ctx, stats, StageClassify, func(context.Context) int {
 		for _, c := range candidates {
 			// Stage 2b: remove registry test nameservers.
 			if idioms.IsTestNameserver(c.ns) {

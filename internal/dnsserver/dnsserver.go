@@ -6,6 +6,7 @@
 package dnsserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Metric names recorded when the server is instrumented.
@@ -67,6 +69,11 @@ type Server struct {
 	// ones); the experiment uses it to observe incoming resolution
 	// attempts without answering them.
 	QueryLog func(q dnswire.Question, from netip.AddrPort)
+
+	// Tracer, when non-nil, journals one "dns.query" span per query
+	// (DNS has no trace-context carrier, so query spans are always
+	// roots, tagged with name, type, and outcome). Set before Serve.
+	Tracer *trace.Tracer
 
 	// obs metric handles, nil until Instrument is called.
 	mQueries   *obs.Counter
@@ -291,12 +298,20 @@ func addrPortOf(addr net.Addr) netip.AddrPort {
 // nothing" (malformed input or policy drop). udp selects 512-octet
 // truncation semantics.
 func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
+	_, sp := s.Tracer.Start(context.Background(), "dns.query")
+	outcome := "error"
+	defer func() {
+		sp.SetAttr("outcome", outcome)
+		sp.End()
+	}()
 	msg, err := dnswire.Decode(wire)
 	if err != nil || msg.Header.Response || len(msg.Questions) != 1 {
 		s.countError()
 		return nil
 	}
 	q := msg.Questions[0]
+	sp.SetAttr("name", string(q.Name))
+	sp.SetAttr("type", q.Type.String())
 	s.Stats.Queries.Add(1)
 	if s.mQueries != nil {
 		s.mQueries.Inc()
@@ -313,6 +328,7 @@ func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
 		if s.mDropped != nil {
 			s.mDropped.Inc()
 		}
+		outcome = "dropped"
 		return nil
 	}
 
@@ -362,6 +378,7 @@ func (s *Server) handleWire(wire []byte, from netip.AddrPort, udp bool) []byte {
 	if s.mResponses != nil {
 		s.mResponses.With(resp.Header.RCode.String()).Inc()
 	}
+	outcome = resp.Header.RCode.String()
 	return out
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dnsname"
 	"repro/internal/faults"
+	"repro/internal/obs/trace"
 )
 
 const (
@@ -44,6 +45,11 @@ type Client struct {
 	// calls fail fast with faults.ErrOpen instead of hammering a dead
 	// server.
 	Breaker *faults.Breaker
+	// Tracer, when set, opens a client span per call. Whether or not it
+	// is set, the active trace context in ctx is injected into every
+	// request as a traceparent header, so server-side logs and metrics
+	// can be joined to the caller's trace.
+	Tracer *trace.Tracer
 }
 
 // APIError is a non-200 response.
@@ -119,12 +125,15 @@ func errorFromResponse(resp *http.Response) error {
 	return &APIError{Status: resp.StatusCode, Msg: resp.Status, Body: s}
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+func (c *Client) getJSON(ctx context.Context, op, path string, out any) (err error) {
+	ctx, sp := c.Tracer.Start(ctx, "dzdbapi.client."+op)
+	defer func() { sp.SetError(err); sp.End() }()
 	return c.do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
 			return faults.Permanent(err)
 		}
+		trace.Inject(ctx, req.Header)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return err
@@ -145,7 +154,7 @@ func (c *Client) Stats() (*StatsResponse, error) {
 // StatsContext is Stats bounded by ctx.
 func (c *Client) StatsContext(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.getJSON(ctx, "/stats", &out); err != nil {
+	if err := c.getJSON(ctx, "stats", "/stats", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -159,7 +168,7 @@ func (c *Client) Domain(name dnsname.Name) (*DomainResponse, error) {
 // DomainContext is Domain bounded by ctx.
 func (c *Client) DomainContext(ctx context.Context, name dnsname.Name) (*DomainResponse, error) {
 	var out DomainResponse
-	if err := c.getJSON(ctx, "/domains/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "domain", "/domains/"+url.PathEscape(string(name)), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -173,7 +182,7 @@ func (c *Client) Nameserver(name dnsname.Name) (*NameserverResponse, error) {
 // NameserverContext is Nameserver bounded by ctx.
 func (c *Client) NameserverContext(ctx context.Context, name dnsname.Name) (*NameserverResponse, error) {
 	var out NameserverResponse
-	if err := c.getJSON(ctx, "/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "nameserver", "/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -186,6 +195,7 @@ func (c *Client) Snapshot(zone dnsname.Name, date string) (string, error) {
 
 // SnapshotContext is Snapshot bounded by ctx.
 func (c *Client) SnapshotContext(ctx context.Context, zone dnsname.Name, date string) (string, error) {
+	ctx, sp := c.Tracer.Start(ctx, "dzdbapi.client.snapshot")
 	var body string
 	err := c.do(ctx, func(ctx context.Context) error {
 		u := fmt.Sprintf("%s/zones/%s/snapshot?date=%s",
@@ -194,6 +204,7 @@ func (c *Client) SnapshotContext(ctx context.Context, zone dnsname.Name, date st
 		if err != nil {
 			return faults.Permanent(err)
 		}
+		trace.Inject(ctx, req.Header)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return err
@@ -209,5 +220,7 @@ func (c *Client) SnapshotContext(ctx context.Context, zone dnsname.Name, date st
 		body = string(raw)
 		return nil
 	})
+	sp.SetError(err)
+	sp.End()
 	return body, err
 }

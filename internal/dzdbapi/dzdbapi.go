@@ -18,14 +18,17 @@ package dzdbapi
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/interval"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/zonedb"
 )
 
@@ -102,6 +105,16 @@ type Server struct {
 	obs      *obs.Registry
 	requests *obs.CounterVec   // MetricRequests{route,class}
 	latency  *obs.HistogramVec // MetricRequestSeconds{route}
+
+	// Log, when non-nil, receives one structured record per request,
+	// carrying the request's trace ID when the client sent a
+	// traceparent header. Set before serving.
+	Log *slog.Logger
+	// Tracer, when non-nil, opens a server span per request, joined to
+	// the caller's trace when a valid traceparent header is present
+	// (a malformed or absent header starts a fresh root). Set before
+	// serving.
+	Tracer *trace.Tracer
 }
 
 // New builds the API server for db with its own private metrics
@@ -129,16 +142,47 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 // Metrics returns the registry the request middleware records into.
 func (s *Server) Metrics() *obs.Registry { return s.obs }
 
-// handle mounts handler at pattern behind the metrics middleware. The
-// route label is the pattern without the method so label cardinality is
-// bounded by the route table, never by client input.
+// handle mounts handler at pattern behind the metrics-and-tracing
+// middleware. The route label is the pattern without the method so
+// label cardinality is bounded by the route table, never by client
+// input.
+//
+// Trace context flows in via the W3C traceparent header: a valid one
+// parents the request's server span (and is echoed into the request
+// log and the latency histogram's exemplar), an absent or malformed
+// one starts a fresh root span.
 func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.obs.Now()
+		ctx := r.Context()
+		remote, hasRemote := trace.Extract(r.Header)
+		if hasRemote {
+			ctx = trace.ContextWithRemote(ctx, remote)
+		}
+		ctx, sp := s.Tracer.Start(ctx, "dzdbapi."+route)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		handler(sw, r)
+		handler(sw, r.WithContext(ctx))
+		elapsed := s.obs.Now().Sub(start)
+
+		traceID := sp.TraceID()
+		if traceID == "" && hasRemote {
+			traceID = remote.TraceID.String()
+		}
 		s.requests.With(route, statusClass(sw.status)).Inc()
-		s.latency.With(route).Observe(s.obs.Now().Sub(start).Seconds())
+		s.latency.With(route).ObserveExemplar(elapsed.Seconds(), traceID)
+		if sp != nil {
+			sp.SetAttr("route", route)
+			sp.SetAttr("status", strconv.Itoa(sw.status))
+			sp.End()
+		}
+		if s.Log != nil {
+			args := []any{"route", route, "status", sw.status,
+				"dur_us", elapsed.Microseconds()}
+			if traceID != "" {
+				args = append(args, "trace_id", traceID)
+			}
+			s.Log.Info("request", args...)
+		}
 	})
 }
 

@@ -141,9 +141,9 @@ func (c *failNthWrite) Write(b []byte) (int, error) {
 
 func TestChaosNonIdempotentCommandIsNotReplayed(t *testing.T) {
 	_, addr := startServer(t)
-	// The first connection dies on its fifth write. Each EPP frame is
-	// two writes (header, payload), so the schedule is: login (1,2),
-	// create (3,4), then the delete's header write (5) fails with the
+	// The first connection dies on its third write. Each EPP frame is
+	// one write (header and payload coalesced), so the schedule is:
+	// login (1), create (2), then the delete's write (3) fails with the
 	// command in flight. Later connections are clean.
 	var conns atomic.Int64
 	d := &net.Dialer{}
@@ -157,7 +157,7 @@ func TestChaosNonIdempotentCommandIsNotReplayed(t *testing.T) {
 				return nil, err
 			}
 			if conns.Add(1) == 1 {
-				return &failNthWrite{Conn: conn, n: 5}, nil
+				return &failNthWrite{Conn: conn, n: 3}, nil
 			}
 			return conn, nil
 		},

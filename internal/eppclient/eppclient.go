@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/eppwire"
 	"repro/internal/faults"
+	"repro/internal/obs/trace"
 )
 
 // ResultError is a non-success EPP response.
@@ -88,6 +89,22 @@ type Client struct {
 	greeting *eppwire.Greeting
 	seq      int
 	broken   bool // conn saw a transport error and must be redialed
+	traceCtx context.Context
+}
+
+// SetTraceContext binds the session to the trace carried by ctx: every
+// subsequent command opens a child span (journaled by that trace's
+// tracer, one span per wire attempt so replays are visible) and stamps
+// the span's identity into the clTRID, the channel by which the trace
+// crosses the EPP wire. Pass context.Background() to unbind; unbound
+// sessions use the legacy "CL-<seq>" identifiers.
+func (c *Client) SetTraceContext(ctx context.Context) { c.traceCtx = ctx }
+
+func (c *Client) traceContext() context.Context {
+	if c.traceCtx != nil {
+		return c.traceCtx
+	}
+	return context.Background()
 }
 
 // Dial connects, reads the greeting, and logs in as clientID, with
@@ -194,23 +211,27 @@ func isTransport(err error) bool {
 // deadline and returns the response, converting non-1xxx results to
 // ResultError. Wire failures close the connection, mark the session
 // broken, and come back as transportError.
-func (c *Client) exchange(ctx context.Context, cmd *eppwire.Command) (*eppwire.Response, error) {
+func (c *Client) exchange(ctx context.Context, cmd *eppwire.Command) (resp *eppwire.Response, err error) {
 	c.seq++
-	cmd.ClTRID = fmt.Sprintf("CL-%d", c.seq)
+	_, sp := trace.Start(c.traceContext(), "eppclient."+cmd.Verb())
+	cmd.ClTRID = sp.Context().ClTRID(c.seq)
+	sp.SetAttr("cltrid", cmd.ClTRID)
+	defer func() { sp.SetError(err); sp.End() }()
 	_ = faults.SetConnDeadline(c.conn, ctx, c.cfg.ioTimeout())
 	if err := eppwire.Send(c.conn, &eppwire.EPP{Command: cmd}); err != nil {
 		c.breakConn()
 		return nil, &transportError{err}
 	}
-	resp, err := eppwire.Receive(c.conn)
+	raw, err := eppwire.Receive(c.conn)
 	if err != nil {
 		c.breakConn()
 		return nil, &transportError{err}
 	}
-	if resp.Response == nil {
-		return nil, fmt.Errorf("eppclient: expected response, got %+v", resp)
+	if raw.Response == nil {
+		return nil, fmt.Errorf("eppclient: expected response, got %+v", raw)
 	}
-	r := resp.Response
+	r := raw.Response
+	sp.SetAttrInt("code", r.Result.Code)
 	if r.Result.Code >= 2000 {
 		return r, &ResultError{Code: r.Result.Code, Msg: r.Result.Msg}
 	}

@@ -1,0 +1,155 @@
+// Tests for the Close teardown path (an idle or mid-frame session must
+// not deadlock Close) and for trace recovery from clTRIDs.
+package eppserver
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/obs/trace"
+	"repro/internal/registry"
+)
+
+// closeWithin runs srv.Close and fails the test if it has not returned
+// within limit — the regression being guarded is Close blocking forever
+// on sessions parked in eppwire.Receive.
+func closeWithin(t *testing.T, srv *Server, limit time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		t.Logf("Close returned in %v", time.Since(start))
+	case <-time.After(limit):
+		t.Fatalf("Close did not return within %v", limit)
+	}
+}
+
+func TestCloseUnblocksIdleSession(t *testing.T) {
+	srv, addr := startServer(t)
+	// An authenticated session sitting idle: its server goroutine is
+	// blocked reading the next frame with no deadline.
+	c := dial(t, addr, "godaddy")
+	if _, err := c.CheckDomains("a.com"); err != nil {
+		t.Fatal(err)
+	}
+	closeWithin(t, srv, 2*time.Second)
+}
+
+func TestCloseUnblocksMidFrameSession(t *testing.T) {
+	srv, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Drain the greeting frame, then send a header promising a command
+	// that never arrives: the session is now blocked mid-Receive with a
+	// command in flight.
+	var hdr [4]byte
+	if _, err := conn.Read(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:])-4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 512)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the session park in the read
+	closeWithin(t, srv, 2*time.Second)
+}
+
+func TestServerRecoversTraceFromClTRID(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Tracer = trace.New()
+
+	clientTracer := trace.New()
+	ctx, root := clientTracer.Start(context.Background(), "test.root")
+	c := dial(t, addr, "godaddy")
+	c.SetTraceContext(ctx)
+	if _, err := c.CheckDomains("a.com"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	want := root.Context().TraceID.String()
+	var got *trace.Record
+	for _, r := range srv.Tracer.Records() {
+		if r.Name == "eppserver.check" {
+			rec := r
+			got = &rec
+		}
+	}
+	if got == nil {
+		t.Fatalf("no eppserver.check span journaled; records = %+v", srv.Tracer.Records())
+	}
+	if got.TraceID != want {
+		t.Fatalf("server span trace = %s, want client trace %s", got.TraceID, want)
+	}
+	if got.ParentID == "" {
+		t.Fatal("server span should be parented by the client's command span")
+	}
+	// The client side journals one span per command; the server span's
+	// parent must be one of them (the check attempt), proving the clTRID
+	// carried the span identity, not just the trace identity.
+	found := false
+	for _, r := range clientTracer.Records() {
+		if r.Name == "eppclient.check" && r.SpanID == got.ParentID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("server span parent %s not among client spans", got.ParentID)
+	}
+}
+
+func TestLegacyClTRIDStartsFreshRoot(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Tracer = trace.New()
+
+	// No SetTraceContext: the client stamps legacy "CL-<seq>" clTRIDs,
+	// which must not parse as trace context — each command runs as its
+	// own fresh root span.
+	c := dial(t, addr, "godaddy")
+	if _, err := c.CheckDomains("a.com"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range srv.Tracer.Records() {
+		if r.Name != "eppserver.check" {
+			continue
+		}
+		if r.ParentID != "" {
+			t.Fatalf("legacy clTRID produced a parented span: %+v", r)
+		}
+		if r.TraceID == "" {
+			t.Fatalf("span missing trace ID: %+v", r)
+		}
+		return
+	}
+	t.Fatal("no eppserver.check span journaled")
+}
+
+func TestCloseRefusesLateSession(t *testing.T) {
+	reg := registry.New("Verisign", nil, "com")
+	srv := New(reg)
+	srv.Clock = func() dates.Day { return dates.FromYMD(2019, 7, 1) }
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close with no listener: %v", err)
+	}
+	// A connection racing past Accept after Close must be dropped by
+	// addSession, not leak a session goroutine.
+	if srv.addSession(nil) {
+		t.Fatal("addSession accepted a conn after Close")
+	}
+}

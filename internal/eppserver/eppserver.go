@@ -9,6 +9,7 @@
 package eppserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -17,12 +18,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/epp"
 	"repro/internal/eppwire"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 )
 
@@ -53,11 +56,23 @@ type Server struct {
 	// counters (set it before Serve).
 	Obs *obs.Registry
 
+	// Tracer, when non-nil, opens a server span per command, joined to
+	// the client's trace when the clTRID carries one (see
+	// trace.ParseClTRID). Set before Serve.
+	Tracer *trace.Tracer
+
+	// CloseTimeout bounds how long Close waits for in-flight sessions
+	// after closing their connections (default 2s).
+	CloseTimeout time.Duration
+
 	mu     sync.Mutex // serializes repository access
 	ln     net.Listener
 	closed atomic.Bool
 	wg     sync.WaitGroup
 	trid   atomic.Int64
+
+	sessMu   sync.Mutex // guards sessions
+	sessions map[net.Conn]struct{}
 }
 
 // New creates a server for the registry.
@@ -127,15 +142,57 @@ func (s *Server) ListenAndServe(addr string, bound chan<- net.Addr) error {
 	return s.Serve(ln)
 }
 
-// Close stops accepting sessions and waits for active ones to finish.
+// addSession registers a live session connection for Close to tear
+// down. It refuses (and the session exits) when the server is already
+// closed, so a connection accepted in the Close race cannot linger.
+func (s *Server) addSession(conn net.Conn) bool {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	if s.sessions == nil {
+		s.sessions = make(map[net.Conn]struct{})
+	}
+	s.sessions[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) removeSession(conn net.Conn) {
+	s.sessMu.Lock()
+	delete(s.sessions, conn)
+	s.sessMu.Unlock()
+}
+
+// Close stops accepting sessions, closes every live session connection
+// (unblocking reads parked in eppwire.Receive — an idle session used to
+// deadlock Close forever), and waits up to CloseTimeout for the session
+// goroutines to drain. Sessions still running at the deadline are
+// reported as an error rather than waited on unboundedly.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.wg.Wait()
-	return err
+	s.sessMu.Lock()
+	for conn := range s.sessions {
+		conn.Close()
+	}
+	s.sessMu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	timeout := s.CloseTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	select {
+	case <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("eppserver: close: sessions still active after %v", timeout)
+	}
 }
 
 func (s *Server) now() dates.Day {
@@ -162,9 +219,44 @@ func (s *Server) logCommand(verb string, client epp.RegistrarID, code int) {
 	s.logf("epp %s: %s from %q -> %d", s.reg.Name(), verb, client, code)
 }
 
+// startCommandSpan opens a server span for one command, joined to the
+// client's trace when the clTRID carries one (see trace.ParseClTRID); a
+// plain clTRID runs the command as a fresh root.
+func (s *Server) startCommandSpan(cmd *eppwire.Command, verb string) *trace.Span {
+	ctx := context.Background()
+	if sc, ok := trace.ParseClTRID(cmd.ClTRID); ok {
+		ctx = trace.ContextWithRemote(ctx, sc)
+	}
+	_, sp := s.Tracer.Start(ctx, "eppserver."+verb)
+	sp.SetAttr("cltrid", cmd.ClTRID)
+	return sp
+}
+
+// finishCommand ends the command's span and records the command like
+// logCommand, with the trace ID (when the command carried one) joined
+// into the structured log record.
+func (s *Server) finishCommand(sp *trace.Span, verb string, client epp.RegistrarID, code int) {
+	sp.SetAttr("client", string(client))
+	sp.SetAttrInt("code", code)
+	sp.End()
+	s.countCommand(verb, code)
+	if s.Log != nil {
+		args := []any{"registry", s.reg.Name(), "verb", verb, "client", string(client), "code", code}
+		if tid := sp.TraceID(); tid != "" {
+			args = append(args, "trace_id", tid)
+		}
+		s.Log.Info("command", args...)
+	}
+	s.logf("epp %s: %s from %q -> %d", s.reg.Name(), verb, client, code)
+}
+
 // session runs one client connection.
 func (s *Server) session(conn net.Conn) {
 	defer conn.Close()
+	if !s.addSession(conn) {
+		return
+	}
+	defer s.removeSession(conn)
 	s.sessionOpened()
 	defer s.sessionClosed()
 	if s.Log != nil {
@@ -192,29 +284,30 @@ func (s *Server) session(conn net.Conn) {
 		}
 		cmd := req.Command
 		verb := cmd.Verb()
+		sp := s.startCommandSpan(cmd, verb)
 		if cmd.Logout != nil {
-			s.logCommand(verb, client, 1500)
+			s.finishCommand(sp, verb, client, 1500)
 			s.reply(conn, cmd.ClTRID, 1500, "Command completed successfully; ending session", nil)
 			return
 		}
 		if cmd.Login != nil {
 			if cmd.Login.ClientID == "" {
-				s.logCommand(verb, client, 2200)
+				s.finishCommand(sp, verb, client, 2200)
 				s.reply(conn, cmd.ClTRID, 2200, "invalid registrar credentials", nil)
 				continue
 			}
 			client = epp.RegistrarID(cmd.Login.ClientID)
-			s.logCommand(verb, client, 1000)
+			s.finishCommand(sp, verb, client, 1000)
 			s.reply(conn, cmd.ClTRID, 1000, "Command completed successfully", nil)
 			continue
 		}
 		if client == "" {
-			s.logCommand(verb, client, 2002)
+			s.finishCommand(sp, verb, client, 2002)
 			s.reply(conn, cmd.ClTRID, 2002, "login required", nil)
 			continue
 		}
 		code, msg, data, msgQ := s.executeFull(client, cmd)
-		s.logCommand(verb, client, code)
+		s.finishCommand(sp, verb, client, code)
 		s.replyFull(conn, cmd.ClTRID, code, msg, data, msgQ)
 	}
 }

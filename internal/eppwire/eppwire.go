@@ -31,14 +31,14 @@ var (
 
 // WriteFrame writes one EPP data unit: a 4-octet big-endian total length
 // (including the header itself) followed by the payload (RFC 5734 §4).
+// Header and payload go out in a single Write so a frame is one TCP
+// segment when it fits, and a fault injector counting writes sees one
+// write per frame.
 func WriteFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	total := uint32(len(payload) + 4)
-	binary.BigEndian.PutUint32(hdr[:], total)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

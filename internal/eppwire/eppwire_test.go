@@ -200,3 +200,37 @@ func TestMsgQueueRoundTrip(t *testing.T) {
 		t.Fatalf("msgQ mismatch:\n got %#v\nwant %#v", out.Response, in.Response)
 	}
 }
+
+// countingWriter records the size of each Write it receives.
+type countingWriter struct {
+	writes [][]byte
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	w.writes = append(w.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func TestWriteFrameIsOneWrite(t *testing.T) {
+	// One frame must be exactly one Write: header and payload coalesced,
+	// so a frame that fits goes out as one TCP segment and write-counting
+	// fault injectors see one fault point per frame.
+	var w countingWriter
+	payload := []byte("<epp><command/></epp>")
+	if err := WriteFrame(&w, payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.writes) != 1 {
+		t.Fatalf("WriteFrame issued %d writes, want 1", len(w.writes))
+	}
+	frame := w.writes[0]
+	if got, want := len(frame), len(payload)+4; got != want {
+		t.Fatalf("frame length = %d, want %d", got, want)
+	}
+	if total := binary.BigEndian.Uint32(frame[:4]); total != uint32(len(frame)) {
+		t.Fatalf("header says %d, frame is %d bytes", total, len(frame))
+	}
+	if string(frame[4:]) != string(payload) {
+		t.Fatalf("payload mangled: %q", frame[4:])
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoMetric is the standard build-information gauge: constant 1,
+// with the interesting facts in the labels.
+const BuildInfoMetric = "build_info"
+
+// buildFacts extracts (module version, go version, vcs revision) from
+// the embedded build info. Missing facts come back as "unknown" so the
+// metric's label schema is stable.
+func buildFacts() (version, goVersion, revision string) {
+	version, goVersion, revision = "unknown", runtime.Version(), "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+}
+
+// RegisterBuildInfo exposes the process's build identity as
+// build_info{version,go_version,vcs_revision} = 1 — the conventional
+// shape for joining dashboards against deploy versions.
+func (r *Registry) RegisterBuildInfo() {
+	version, goVersion, revision := buildFacts()
+	r.GaugeVec(BuildInfoMetric, "Build information (value is always 1).",
+		"version", "go_version", "vcs_revision").
+		With(version, goVersion, revision).Set(1)
+}
+
+// Version renders the build identity as a one-line string — what the
+// commands print under -version.
+func Version() string {
+	version, goVersion, revision := buildFacts()
+	return fmt.Sprintf("repro %s %s (rev %s)", version, goVersion, revision)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Latency.", nil)
+	h.ObserveExemplar(0.01, "")
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("empty trace ID must not record an exemplar")
+	}
+	h.ObserveExemplar(0.02, "aaaa")
+	h.ObserveExemplar(0.5, "bbbb")
+	e, ok := h.Exemplar()
+	if !ok || e.TraceID != "bbbb" || e.Value != 0.5 {
+		t.Fatalf("exemplar = %+v ok=%v", e, ok)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (exemplar observations must count)", h.Count())
+	}
+
+	var plain, om strings.Builder
+	if _, err := r.WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Fatal("0.0.4 exposition leaked an exemplar")
+	}
+	if !strings.Contains(om.String(), `le="+Inf"} 3 # {trace_id="bbbb"} 0.5`) {
+		t.Fatalf("OpenMetrics exposition missing exemplar:\n%s", om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatal("OpenMetrics exposition missing # EOF")
+	}
+}
+
+func TestHandlerNegotiatesOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("x_seconds", "", nil).ObserveExemplar(0.1, "cafe")
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	if strings.Contains(rr.Body.String(), "trace_id") {
+		t.Fatal("default scrape leaked exemplars")
+	}
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, req)
+	if !strings.Contains(rr.Body.String(), `# {trace_id="cafe"} 0.1`) {
+		t.Fatalf("OpenMetrics scrape missing exemplar:\n%s", rr.Body.String())
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterBuildInfo()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "build_info{") || !strings.Contains(out, `go_version="go`) {
+		t.Fatalf("build_info missing:\n%s", out)
+	}
+	if v := Version(); !strings.HasPrefix(v, "repro ") || !strings.Contains(v, "go1") {
+		t.Fatalf("Version() = %q", v)
+	}
+}

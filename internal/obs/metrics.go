@@ -77,14 +77,26 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// Exemplar is one concrete observation kept alongside a histogram —
+// typically the latest request's trace ID, so a latency spike on a
+// dashboard links to the exact trace that caused it.
+type Exemplar struct {
+	// TraceID labels the exemplar (rendered as trace_id in OpenMetrics
+	// exposition).
+	TraceID string
+	// Value is the observed value.
+	Value float64
+}
+
 // Histogram is a fixed-bucket histogram. Buckets are upper bounds in
 // ascending order; observations above the last bound land only in the
 // implicit +Inf bucket. All methods are safe for concurrent use.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // one per bound; cumulative only at exposition
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds   []float64
+	counts   []atomic.Uint64 // one per bound; cumulative only at exposition
+	count    atomic.Uint64
+	sum      atomic.Uint64 // float64 bits, CAS-updated
+	exemplar atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -109,6 +121,25 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// keeps it as the histogram's latest exemplar. An empty traceID makes
+// this identical to Observe, so call sites can pass whatever trace
+// context they have without branching.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the latest exemplar, if one was ever recorded.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if e := h.exemplar.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -315,6 +346,20 @@ func labelString(names, values []string, extra ...string) string {
 // output is deterministic. Families with no children yet still emit
 // their HELP/TYPE header, announcing the schema before first use.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in an OpenMetrics-flavoured
+// text format: identical to WriteTo except that histogram exemplars
+// (recorded via ObserveExemplar) are appended to the +Inf bucket line
+// as `# {trace_id="..."} value` and the output is terminated with
+// `# EOF`. Strict 0.0.4 scrapers should use WriteTo; the Handler
+// negotiates via the Accept header.
+func (r *Registry) WriteOpenMetrics(w io.Writer) (int64, error) {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) (int64, error) {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
@@ -378,7 +423,13 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 					}
 				}
 				ls := labelString(f.labels, values, "le", "+Inf")
-				if err := wr("%s_bucket%s %d\n", f.name, ls, m.Count()); err != nil {
+				exemplar := ""
+				if openMetrics {
+					if e, ok := m.Exemplar(); ok {
+						exemplar = fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(e.TraceID), formatFloat(e.Value))
+					}
+				}
+				if err := wr("%s_bucket%s %d%s\n", f.name, ls, m.Count(), exemplar); err != nil {
 					return total, err
 				}
 				if err := wr("%s_sum%s %s\n", f.name, labelString(f.labels, values), formatFloat(m.Sum())); err != nil {
@@ -390,13 +441,24 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	if openMetrics {
+		if err := wr("# EOF\n"); err != nil {
+			return total, err
+		}
+	}
 	return total, nil
 }
 
 // Handler returns an http.Handler serving the registry as a Prometheus
-// scrape target.
+// scrape target. Scrapers that advertise OpenMetrics support in the
+// Accept header additionally receive histogram exemplars.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_, _ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = r.WriteTo(w)
 	})

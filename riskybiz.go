@@ -27,12 +27,14 @@
 package riskybiz
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/dates"
 	"repro/internal/detect"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/zonedb"
 )
@@ -95,6 +97,13 @@ type Study struct {
 
 // Run simulates the ecosystem, runs detection, and prepares the analyses.
 func Run(opts Options) (*Study, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with the pipeline's phases (world build, simulate,
+// re-ingest, detect, analysis) journaled as child spans of the trace
+// carried by ctx; with no trace in ctx it behaves exactly like Run.
+func RunContext(ctx context.Context, opts Options) (*Study, error) {
 	if opts.DomainsPerDay <= 0 {
 		opts.DomainsPerDay = 10
 	}
@@ -111,17 +120,26 @@ func Run(opts Options) (*Study, error) {
 		cfg.CascadeFixFrom = sim.NotificationDay
 	}
 
+	_, wsp := trace.Start(ctx, "sim.world")
 	world, err := sim.NewWorld(cfg)
 	if err != nil {
+		wsp.SetError(err)
+		wsp.End()
 		return nil, fmt.Errorf("riskybiz: building world: %w", err)
 	}
-	if err := world.Run(); err != nil {
+	err = world.Run()
+	wsp.SetError(err)
+	wsp.End()
+	if err != nil {
 		return nil, fmt.Errorf("riskybiz: simulating: %w", err)
 	}
 	db := world.ZoneDB()
 	var quarantine zonedb.QuarantineReport
 	if opts.Reingest {
-		reingested, report, err := reingest(world, opts)
+		rctx, rsp := trace.Start(ctx, "zonedb.reingest")
+		reingested, report, err := reingest(rctx, world, opts)
+		rsp.SetError(err)
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -133,34 +151,47 @@ func Run(opts Options) (*Study, error) {
 		Dir:   world.Directory(),
 		Cfg:   opts.Detector,
 	}
-	result := det.Run()
+	result := det.RunContext(ctx)
 
 	window := dates.NewRange(sim.WindowStart, sim.WindowEnd)
 	excludeNS := world.Truth().AccidentNS
 	if opts.KeepAccidentNS {
 		excludeNS = nil
 	}
+	_, asp := trace.Start(ctx, "analysis.build")
 	an := analysis.New(result, db, window, excludeNS).WithWHOIS(world.WHOIS())
+	asp.End()
 	return &Study{World: world, Result: result, Analysis: an,
 		DB: db, Quarantine: quarantine, Window: window}, nil
 }
 
 // reingest exports the world's daily zone snapshots and rebuilds the
 // database through the snapshot differ, honouring the fault-tolerance
-// options.
-func reingest(world *sim.World, opts Options) (*zonedb.DB, zonedb.QuarantineReport, error) {
+// options. Each zone's snapshot stream gets its own child span (the
+// differ only requires per-zone chronology, so the zone-outer order is
+// equivalent to the day-outer one).
+func reingest(ctx context.Context, world *sim.World, opts Options) (*zonedb.DB, zonedb.QuarantineReport, error) {
 	src := world.ZoneDB()
 	ing := zonedb.NewIngester()
 	ing.Degraded = !opts.StrictIngest
 	ing.MaxQuarantine = opts.MaxQuarantine
 	ing.Obs = opts.Obs
 	cfg := world.Config()
-	for day := cfg.Start; day <= cfg.End; day++ {
-		for _, zone := range src.Zones() {
+	for _, zone := range src.Zones() {
+		_, zsp := trace.Start(ctx, "zonedb.ingest.zone")
+		zsp.SetAttr("zone", string(zone))
+		days := 0
+		for day := cfg.Start; day <= cfg.End; day++ {
 			if err := ing.AddSnapshot(src.SnapshotOn(zone, day)); err != nil {
-				return nil, zonedb.QuarantineReport{}, fmt.Errorf("riskybiz: reingest %s@%s: %w", zone, day, err)
+				err = fmt.Errorf("riskybiz: reingest %s@%s: %w", zone, day, err)
+				zsp.SetError(err)
+				zsp.End()
+				return nil, zonedb.QuarantineReport{}, err
 			}
+			days++
 		}
+		zsp.SetAttrInt("items", days)
+		zsp.End()
 	}
 	return ing.Finish(), ing.Quarantine(), nil
 }
