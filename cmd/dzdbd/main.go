@@ -10,11 +10,19 @@
 //
 // Then:
 //
-//	curl http://localhost:8053/stats
-//	curl http://localhost:8053/domains/whitecounty.net
-//	curl http://localhost:8053/zones/com/snapshot?date=2016-07-15
+//	curl http://localhost:8053/v1/stats
+//	curl http://localhost:8053/v1/zones?limit=10
+//	curl http://localhost:8053/v1/domains/whitecounty.net
+//	curl 'http://localhost:8053/v1/nameservers/ns2.internetemc.com?limit=100'
+//	curl 'http://localhost:8053/v1/zones/com/snapshot?date=2016-07-15'
 //	curl http://localhost:8053/metrics            # Prometheus exposition
 //	go tool pprof http://localhost:8053/debug/pprof/profile
+//
+// The pre-/v1/ routes still answer, marked with a Deprecation header.
+//
+// With -load, SIGHUP re-reads the archive and atomically swaps it in:
+// requests in flight keep the snapshot they started on, new requests see
+// the new epoch, and reads never block behind the reload.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
@@ -65,14 +73,10 @@ func main() {
 	var db *zonedb.DB
 	who := whois.New()
 	if *load != "" {
-		f, err := os.Open(*load)
+		var err error
+		db, err = loadArchive(*load)
 		if err != nil {
-			fatal("opening archive", err)
-		}
-		db, err = zonedb.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fatal("reading archive", err)
+			fatal("loading archive", err)
 		}
 		logger.Info("archive loaded", "path", *load,
 			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
@@ -94,9 +98,10 @@ func main() {
 	}
 
 	if *runDetect {
-		det := &detect.Detector{DB: db, WHOIS: who, Dir: sim.StandardDirectory(), Obs: reg,
-			Cfg: detect.Config{SkipMining: true}}
-		res := det.Run()
+		det := detect.NewDetector(db, who, sim.StandardDirectory(),
+			detect.WithConfig(detect.Config{SkipMining: true}),
+			detect.WithObs(reg))
+		res := det.RunContext(context.Background())
 		logger.Info("detection pipeline primed",
 			"sacrificial", res.Funnel.Sacrificial,
 			"wall", res.Stats.Wall.Round(time.Millisecond).String())
@@ -122,6 +127,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP re-reads the archive (when serving one) and Adopts it: one
+	// atomic epoch flip, so reads racing the reload stay on the snapshot
+	// they started with and never observe a half-loaded database.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *load == "" {
+				logger.Warn("SIGHUP ignored: serving a simulated database, not an archive")
+				continue
+			}
+			fresh, err := loadArchive(*load)
+			if err != nil {
+				logger.Error("reload failed; still serving the previous epoch", "err", err)
+				continue
+			}
+			db.Adopt(fresh)
+			logger.Info("archive reloaded", "path", *load,
+				"epoch", int(db.View().Epoch()),
+				"domains", db.NumDomains(), "nameservers", db.NumNameservers())
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr)
@@ -139,4 +167,14 @@ func main() {
 		}
 		logger.Info("stopped")
 	}
+}
+
+// loadArchive reads a zone-database archive written by riskybiz -save-data.
+func loadArchive(path string) (*zonedb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return zonedb.ReadFrom(f)
 }

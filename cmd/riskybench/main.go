@@ -9,6 +9,11 @@
 // Usage:
 //
 //	riskybench [-scale 6] [-seed 1] [-runs 3] [-out BENCH_pipeline.json]
+//	           [-baseline BENCH_pipeline.json]
+//
+// -baseline compares the fresh numbers against a committed report and
+// exits nonzero when any ingest* or classify* workload regresses more
+// than 25% in ns/op — the CI guardrail for the parallel pipeline.
 package main
 
 import (
@@ -16,11 +21,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/dates"
 	"repro/internal/detect"
+	"repro/internal/dnsname"
+	"repro/internal/dnszone"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
@@ -95,6 +105,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	runs := flag.Int("runs", 3, "repetitions per workload (results are averaged)")
 	out := flag.String("out", "BENCH_pipeline.json", "output file (\"-\" = stdout)")
+	baseline := flag.String("baseline", "", "prior report to compare against; exit nonzero on >25% ns/op regression in ingest*/classify* workloads")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
@@ -160,8 +171,42 @@ func main() {
 		return nSnaps
 	}))
 
+	iw := runtime.NumCPU()
+	if iw > 8 {
+		iw = 8
+	}
+	workloads = append(workloads, measure("ingest-parallel", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.ingest.parallel")
+		defer sp.End()
+		ing := zonedb.NewIngester()
+		ing.Workers = iw
+		if err := ing.IngestAll(&benchSource{db: db, zones: db.Zones(), start: cfg.Start, end: cfg.End}); err != nil {
+			fatalf("ingest-parallel workload: %v", err)
+		}
+		ing.Finish()
+		sp.SetAttrInt("items", nSnaps)
+		sp.SetAttrInt("workers", iw)
+		return nSnaps
+	}))
+
 	workloads = append(workloads, measure("detect", *runs, func() int {
 		det := &detect.Detector{DB: db, WHOIS: world.WHOIS(), Dir: world.Directory()}
+		res := det.RunContext(ctx)
+		return res.Funnel.Candidates
+	}))
+
+	// The classify workloads skip substring mining (a serial stage) so the
+	// serial-vs-8-worker pair isolates the extract+classify scaling.
+	workloads = append(workloads, measure("classify", *runs, func() int {
+		det := detect.NewDetector(db, world.WHOIS(), world.Directory(),
+			detect.WithConfig(detect.Config{SkipMining: true}))
+		res := det.RunContext(ctx)
+		return res.Funnel.Candidates
+	}))
+	workloads = append(workloads, measure("classify-parallel8", *runs, func() int {
+		det := detect.NewDetector(db, world.WHOIS(), world.Directory(),
+			detect.WithConfig(detect.Config{SkipMining: true}),
+			detect.WithWorkers(8))
 		res := det.RunContext(ctx)
 		return res.Funnel.Candidates
 	}))
@@ -182,6 +227,89 @@ func main() {
 	}
 	if *out != "-" {
 		logger.Info("report written", "path", *out)
+	}
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline); err != nil {
+			fatalf("baseline check: %v", err)
+		}
+		logger.Info("baseline check passed", "path", *baseline)
+	}
+}
+
+// maxRegression is the tolerated ns/op growth over the baseline for the
+// guarded (ingest*/classify*) workloads.
+const maxRegression = 1.25
+
+// checkBaseline compares rep against a committed report. Every workload
+// present in both is logged; only ingest*/classify* regressions beyond
+// maxRegression fail the check (simulate and detect wobble with the
+// whole pipeline and are tracked, not gated).
+func checkBaseline(rep report, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseNs := make(map[string]int64, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseNs[w.Name] = w.NsPerOp
+	}
+	var failures []string
+	for _, w := range rep.Workloads {
+		b, ok := baseNs[w.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		ratio := float64(w.NsPerOp) / float64(b)
+		logger.Info("baseline compare", "workload", w.Name,
+			"baseline_ns", b, "ns", w.NsPerOp, "ratio", fmt.Sprintf("%.2f", ratio))
+		guarded := strings.HasPrefix(w.Name, "ingest") || strings.HasPrefix(w.Name, "classify")
+		if guarded && ratio > maxRegression {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f%% of baseline ns/op", w.Name, 100*ratio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%%: %s",
+			100*(maxRegression-1), strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// benchSource streams the reference world's snapshots zone-outer,
+// day-inner for the parallel ingest workload, generating each lazily so
+// the timed region matches the serial workload's per-snapshot cost.
+type benchSource struct {
+	db         *zonedb.DB
+	zones      []dnsname.Name
+	start, end dates.Day
+
+	started bool
+	zi      int
+	day     dates.Day
+}
+
+// Next implements zonedb.SnapshotSource.
+func (s *benchSource) Next() (*dnszone.Snapshot, string, error) {
+	if !s.started {
+		s.started = true
+		s.day = s.start
+	}
+	for {
+		if s.zi >= len(s.zones) {
+			return nil, "", io.EOF
+		}
+		if s.day > s.end {
+			s.zi++
+			s.day = s.start
+			continue
+		}
+		zone, day := s.zones[s.zi], s.day
+		s.day++
+		return s.db.SnapshotOn(zone, day), fmt.Sprintf("%s@%s", zone, day), nil
 	}
 }
 

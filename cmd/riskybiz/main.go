@@ -6,8 +6,8 @@
 //
 //	riskybiz [-scale N] [-seed S] [-only table3,figure6] [-csv]
 //	         [-save-data PREFIX] [-save-snapshots DIR] [-figures-csv DIR]
-//	         [-reingest [-strict] [-max-quarantine N]]
-//	         [-stats] [-stats-json FILE]
+//	         [-reingest [-strict] [-max-quarantine N] [-ingest-workers N]]
+//	         [-workers N] [-stats] [-stats-json FILE]
 package main
 
 import (
@@ -50,6 +50,8 @@ func main() {
 	reingest := flag.Bool("reingest", false, "rebuild the zone DB from daily snapshots through the ingester before detection")
 	strict := flag.Bool("strict", false, "with -reingest, abort on the first invalid snapshot instead of quarantining it")
 	maxQuarantine := flag.Int("max-quarantine", 0, "with -reingest, abort after quarantining this many snapshots (0 = unlimited)")
+	workers := flag.Int("workers", 0, "detection classify workers (0 = sequential; output is identical either way)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "with -reingest, zone-affine ingest workers (0 = sequential)")
 	saveSnapshots := flag.String("save-snapshots", "", "after simulating, write each zone's daily master-file snapshots into this directory")
 	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
 	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
@@ -68,8 +70,10 @@ func main() {
 
 	study, err := riskybiz.RunContext(ctx, riskybiz.Options{
 		Seed: *seed, DomainsPerDay: *scale,
+		Detector: detect.Config{Workers: *workers},
 		Reingest: *reingest, StrictIngest: *strict, MaxQuarantine: *maxQuarantine,
-		Obs: obs.Default,
+		IngestWorkers: *ingestWorkers,
+		Obs:           obs.Default,
 	})
 	root.SetError(err)
 	root.End()

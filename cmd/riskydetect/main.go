@@ -15,7 +15,7 @@
 //
 //	riskybiz -scale 12 -save-data dataset -save-snapshots snaps
 //	riskydetect -data dataset -snapshots 'snaps/*.zone' [-strict]
-//	            [-max-quarantine N]
+//	            [-max-quarantine N] [-ingest-workers N]
 package main
 
 import (
@@ -64,6 +64,7 @@ func main() {
 	snapshots := flag.String("snapshots", "", "build the zone DB by ingesting master-file snapshots matching this glob instead of PREFIX.dzdb")
 	strict := flag.Bool("strict", false, "with -snapshots, abort on the first invalid snapshot instead of quarantining it")
 	maxQuarantine := flag.Int("max-quarantine", 0, "with -snapshots, abort after quarantining this many snapshots (0 = unlimited)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "with -snapshots, zone-affine ingest workers (0 = sequential)")
 	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
 	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -80,7 +81,7 @@ func main() {
 	ctx, root := tracer.Start(context.Background(), "riskydetect")
 
 	lctx, lsp := trace.Start(ctx, "load.dataset")
-	db, who, exclude, err := loadDataset(lctx, *data, *snapshots, *strict, *maxQuarantine)
+	db, who, exclude, err := loadDataset(lctx, *data, *snapshots, *strict, *maxQuarantine, *ingestWorkers)
 	lsp.SetError(err)
 	lsp.End()
 	if err != nil {
@@ -190,12 +191,12 @@ func writeToFile(path string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
-func loadDataset(ctx context.Context, prefix, snapshots string, strict bool, maxQuarantine int) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
+func loadDataset(ctx context.Context, prefix, snapshots string, strict bool, maxQuarantine, ingestWorkers int) (*zonedb.DB, *whois.History, []dnsname.Name, error) {
 	var db *zonedb.DB
 	var err error
 	if snapshots != "" {
 		_, sp := trace.Start(ctx, "load.snapshots")
-		db, err = ingestSnapshots(snapshots, strict, maxQuarantine)
+		db, err = ingestSnapshots(snapshots, strict, maxQuarantine, ingestWorkers)
 		sp.SetError(err)
 		sp.End()
 	} else {
@@ -264,7 +265,7 @@ func (osFS) Open(name string) (fs.File, error) { return os.Open(name) }
 // <zone>-<date>.zone naming scheme makes chronological per zone. By
 // default invalid snapshots are quarantined and summarised; -strict
 // turns the first one into a fatal error.
-func ingestSnapshots(glob string, strict bool, maxQuarantine int) (*zonedb.DB, error) {
+func ingestSnapshots(glob string, strict bool, maxQuarantine, workers int) (*zonedb.DB, error) {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
 		return nil, err
@@ -276,6 +277,7 @@ func ingestSnapshots(glob string, strict bool, maxQuarantine int) (*zonedb.DB, e
 	ing := zonedb.NewIngester()
 	ing.Degraded = !strict
 	ing.MaxQuarantine = maxQuarantine
+	ing.Workers = workers
 	ing.Obs = obs.Default
 	if err := ing.IngestAll(&zonedb.FileSource{FS: osFS{}, Paths: paths}); err != nil {
 		return nil, err

@@ -98,9 +98,11 @@ type Config struct {
 	// SkipMining skips the (purely reporting) substring-mining stage.
 	SkipMining bool
 	// Workers parallelizes the candidate-extraction stage (static
-	// resolvability over every nameserver, the dominant cost). Zero or
-	// one runs sequentially. Each worker uses its own resolver memo, so
-	// results are identical regardless of worker count.
+	// resolvability over every nameserver, the dominant cost) and the
+	// classify stage, both sharded the same way. Zero or one runs
+	// sequentially. Extraction workers use private resolver memos and
+	// classify verdicts are applied in candidate order, so results are
+	// byte-identical regardless of worker count.
 	Workers int
 }
 
@@ -146,12 +148,42 @@ type Detector struct {
 	// (RegisterMetrics pre-creates the families). Stage timings are
 	// collected in Result.Stats either way.
 	Obs *obs.Registry
+
+	// now, when set (WithClock), overrides the time source.
+	now func() time.Time
 }
 
-// clock returns the time source: the obs registry's (overridable in
-// tests) when present, else the wall clock. Timings never influence
-// detection results, so determinism of the methodology is preserved.
+// zoneData is the read surface a detection run needs. A run takes the
+// DB's published *zonedb.View once at the start and holds it throughout,
+// so every worker reads one consistent generation lock-free, even while
+// an ingest publishes behind it.
+type zoneData interface {
+	resolve.ZoneData
+	Nameservers(fn func(ns dnsname.Name) bool)
+	EdgesOf(ns dnsname.Name) []zonedb.Edge
+	EdgeSpans(domain, ns dnsname.Name) *interval.Set
+	DomainRegisteredOn(domain dnsname.Name, day dates.Day) bool
+	DomainFirstSeenAfter(domain dnsname.Name, from dates.Day) dates.Day
+}
+
+// zoneData pins the view the run will read. A DB that was never closed
+// has an empty published view, so legacy callers that skipped Close keep
+// reading the DB directly (with its original semantics).
+func (d *Detector) zoneData() zoneData {
+	if v := d.DB.View(); v.Closed() {
+		return v
+	}
+	return d.DB
+}
+
+// clock returns the time source: WithClock's when set, else the obs
+// registry's (overridable in tests) when present, else the wall clock.
+// Timings never influence detection results, so determinism of the
+// methodology is preserved.
 func (d *Detector) clock() func() time.Time {
+	if d.now != nil {
+		return d.now
+	}
 	if d.Obs != nil && d.Obs.Now != nil {
 		return d.Obs.Now
 	}
@@ -193,10 +225,10 @@ type candidate struct {
 // time (one entry in sequential mode) for the utilization report. Each
 // parallel worker runs as a child span of ctx so shard imbalance is
 // visible in the trace.
-func (d *Detector) extractCandidates(ctx context.Context) (total int, candidates []candidate, busy []time.Duration) {
+func (d *Detector) extractCandidates(ctx context.Context, zd zoneData) (total int, candidates []candidate, busy []time.Duration) {
 	now := d.clock()
 	var all []dnsname.Name
-	d.DB.Nameservers(func(ns dnsname.Name) bool {
+	zd.Nameservers(func(ns dnsname.Name) bool {
 		all = append(all, ns)
 		return true
 	})
@@ -204,7 +236,7 @@ func (d *Detector) extractCandidates(ctx context.Context) (total int, candidates
 	workers := d.Cfg.Workers
 	if workers <= 1 {
 		t0 := now()
-		static := resolve.NewStatic(d.DB)
+		static := resolve.NewStatic(zd)
 		for _, ns := range all {
 			if bad, first := static.UnresolvableAtFirstReference(ns); bad {
 				candidates = append(candidates, candidate{ns, first})
@@ -225,7 +257,7 @@ func (d *Detector) extractCandidates(ctx context.Context) (total int, candidates
 				_, wsp := trace.Start(ctx, "detect.extract.worker")
 				wsp.SetAttrInt("worker", w)
 				t0 := now()
-				static := resolve.NewStatic(d.DB)
+				static := resolve.NewStatic(zd)
 				var mine []candidate
 				for i := w; i < len(all); i += workers {
 					ns := all[i]
@@ -249,19 +281,24 @@ func (d *Detector) extractCandidates(ctx context.Context) (total int, candidates
 }
 
 // Run executes the full methodology.
+//
+// Deprecated: use RunContext, which carries cancellation and trace
+// context through the pipeline stages. Run is equivalent to
+// RunContext(context.Background()).
 func (d *Detector) Run() *Result {
 	return d.RunContext(context.Background())
 }
 
 // RunContext executes the full methodology with each pipeline stage
 // running as a child span of the trace carried by ctx (see
-// internal/obs/trace); with no trace in ctx it behaves exactly like
-// Run.
+// internal/obs/trace). The run reads the DB's published View, pinned at
+// the start, so it is safe to run concurrently with further ingestion.
 func (d *Detector) RunContext(ctx context.Context) *Result {
 	ctx, rsp := trace.Start(ctx, "detect.run")
 	defer rsp.End()
 	now := d.clock()
 	start := now()
+	zd := d.zoneData()
 	res := &Result{byNS: make(map[dnsname.Name]int)}
 	stats := &RunStats{Workers: 1, MatchesByMethod: make(map[string]int)}
 	if d.Cfg.Workers > 1 {
@@ -272,7 +309,7 @@ func (d *Detector) RunContext(ctx context.Context) *Result {
 	var candidates []candidate
 	d.stage(ctx, stats, StageExtract, func(ctx context.Context) int {
 		var total int
-		total, candidates, stats.WorkerBusy = d.extractCandidates(ctx)
+		total, candidates, stats.WorkerBusy = d.extractCandidates(ctx, zd)
 		res.Funnel.TotalNameservers = total
 		return total
 	})
@@ -291,36 +328,51 @@ func (d *Detector) RunContext(ctx context.Context) *Result {
 		})
 	}
 
-	d.stage(ctx, stats, StageClassify, func(context.Context) int {
-		for _, c := range candidates {
-			// Stage 2b: remove registry test nameservers.
-			if idioms.IsTestNameserver(c.ns) {
+	d.stage(ctx, stats, StageClassify, func(ctx context.Context) int {
+		// Classification of each candidate is a pure function of the
+		// pinned view, so it shards across workers exactly like
+		// extraction: worker w owns candidates w, w+workers, ... and
+		// writes its verdicts into a position-indexed slice. The verdicts
+		// are then applied serially in candidate order, so funnel counts,
+		// match-method stats, and the emitted Sacrificial records are
+		// byte-identical to a sequential run.
+		outs := make([]outcome, len(candidates))
+		workers := d.Cfg.Workers
+		if workers > 1 && len(candidates) > 0 {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					_, wsp := trace.Start(ctx, "detect.classify.worker")
+					wsp.SetAttrInt("worker", w)
+					n := 0
+					for i := w; i < len(candidates); i += workers {
+						outs[i] = d.classifyOne(zd, candidates[i])
+						n++
+					}
+					wsp.SetAttrInt("items", n)
+					wsp.End()
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for i, c := range candidates {
+				outs[i] = d.classifyOne(zd, c)
+			}
+		}
+		for i, c := range candidates {
+			switch o := outs[i]; o.kind {
+			case outTest:
 				res.Funnel.TestNameservers++
-				continue
-			}
-			// Sink and marker idioms classify directly.
-			if idiom, ok := idioms.RecognizeSink(c.ns); ok {
-				d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
-				stats.MatchesByMethod["sink"]++
-				continue
-			}
-			if idiom, ok := idioms.RecognizeMarker(c.ns); ok {
-				d.emit(res, c.ns, c.first, idiom, idiom.Registrar, "")
-				stats.MatchesByMethod["marker"]++
-				continue
-			}
-			// Stage 3: single-repository property.
-			if !d.Cfg.SkipSingleRepoCheck && d.violatesSingleRepo(c.ns) {
+			case outSingleRepo:
 				res.Funnel.SingleRepoViolations++
-				continue
+			case outSacrificial:
+				d.emit(zd, res, c.ns, c.first, o.idiom, o.registrar, o.orig)
+				stats.MatchesByMethod[o.method]++
+			default:
+				res.Funnel.Unclassified++
 			}
-			// Stage 4: original-nameserver history match.
-			if idiom, registrarName, orig, ok := d.matchOriginal(c.ns, c.first); ok {
-				d.emit(res, c.ns, c.first, idiom, registrarName, orig)
-				stats.MatchesByMethod["original"]++
-				continue
-			}
-			res.Funnel.Unclassified++
 		}
 		return len(candidates)
 	})
@@ -349,14 +401,59 @@ func (d *Detector) recordFunnel(stats *RunStats) {
 	}
 }
 
+// outcome is one candidate's classification verdict — the pure product
+// of classifyOne, applied to the Result serially so parallel and
+// sequential runs emit identical output.
+type outcome struct {
+	kind      int
+	idiom     *idioms.Idiom
+	registrar string
+	orig      dnsname.Name
+	method    string
+}
+
+const (
+	outUnclassified = iota
+	outTest
+	outSingleRepo
+	outSacrificial
+)
+
+// classifyOne runs stages 2b–4 for one candidate against the pinned
+// view. It only reads zd, the WHOIS history, the registry directory, and
+// the idiom catalog — all immutable during a run — so it is safe to call
+// from many workers at once.
+func (d *Detector) classifyOne(zd zoneData, c candidate) outcome {
+	// Stage 2b: remove registry test nameservers.
+	if idioms.IsTestNameserver(c.ns) {
+		return outcome{kind: outTest}
+	}
+	// Sink and marker idioms classify directly.
+	if idiom, ok := idioms.RecognizeSink(c.ns); ok {
+		return outcome{kind: outSacrificial, idiom: idiom, registrar: idiom.Registrar, method: "sink"}
+	}
+	if idiom, ok := idioms.RecognizeMarker(c.ns); ok {
+		return outcome{kind: outSacrificial, idiom: idiom, registrar: idiom.Registrar, method: "marker"}
+	}
+	// Stage 3: single-repository property.
+	if !d.Cfg.SkipSingleRepoCheck && d.violatesSingleRepo(zd, c.ns) {
+		return outcome{kind: outSingleRepo}
+	}
+	// Stage 4: original-nameserver history match.
+	if idiom, registrarName, orig, ok := d.matchOriginal(zd, c.ns, c.first); ok {
+		return outcome{kind: outSacrificial, idiom: idiom, registrar: registrarName, orig: orig, method: "original"}
+	}
+	return outcome{kind: outUnclassified}
+}
+
 // violatesSingleRepo applies property 3 of §3.1: the candidate cannot be
 // a rename product if its affected domains span registry operators, or if
 // the candidate itself lives under the same operator as its affected
 // domains (a rename target is always external to the repository that
 // performed it).
-func (d *Detector) violatesSingleRepo(ns dnsname.Name) bool {
+func (d *Detector) violatesSingleRepo(zd zoneData, ns dnsname.Name) bool {
 	operators := make(map[string]bool)
-	for _, e := range d.DB.EdgesOf(ns) {
+	for _, e := range zd.EdgesOf(ns) {
 		if op := d.Dir.OperatorOf(e.Domain.TLD()); op != "" {
 			operators[op] = true
 		}
@@ -377,18 +474,18 @@ func (d *Detector) violatesSingleRepo(ns dnsname.Name) bool {
 // attributed to the registrar WHOIS reports for the original nameserver's
 // domain at that time, and mapped to that registrar's original-based
 // idiom.
-func (d *Detector) matchOriginal(ns dnsname.Name, first dates.Day) (*idioms.Idiom, string, dnsname.Name, bool) {
+func (d *Detector) matchOriginal(zd zoneData, ns dnsname.Name, first dates.Day) (*idioms.Idiom, string, dnsname.Name, bool) {
 	type match struct {
 		rr   string
 		prev dnsname.Name
 	}
 	var matches []match
-	for _, e := range d.DB.EdgesOf(ns) {
-		spans := d.DB.EdgeSpans(e.Domain, ns)
+	for _, e := range zd.EdgesOf(ns) {
+		spans := zd.EdgeSpans(e.Domain, ns)
 		if spans == nil || spans.First() != first {
 			continue
 		}
-		for prevNS, prevSpans := range d.DB.NSHistory(e.Domain) {
+		for prevNS, prevSpans := range zd.NSHistory(e.Domain) {
 			if prevNS == ns || !endsOn(prevSpans, first-1) {
 				continue
 			}
@@ -476,7 +573,7 @@ func originalIdiomFor(registrarName string, ns, orig dnsname.Name) *idioms.Idiom
 }
 
 // emit records a classified sacrificial nameserver.
-func (d *Detector) emit(res *Result, ns dnsname.Name, first dates.Day, idiom *idioms.Idiom, registrarName string, orig dnsname.Name) {
+func (d *Detector) emit(zd zoneData, res *Result, ns dnsname.Name, first dates.Day, idiom *idioms.Idiom, registrarName string, orig dnsname.Name) {
 	s := Sacrificial{
 		NS:        ns,
 		Created:   first,
@@ -488,16 +585,16 @@ func (d *Detector) emit(res *Result, ns dnsname.Name, first dates.Day, idiom *id
 	if reg, ok := dnsname.RegisteredDomain(ns); ok {
 		s.RegDomain = reg
 	}
-	for _, e := range d.DB.EdgesOf(ns) {
-		s.Domains = append(s.Domains, AffectedDomain{Name: e.Domain, Spans: d.DB.EdgeSpans(e.Domain, ns)})
+	for _, e := range zd.EdgesOf(ns) {
+		s.Domains = append(s.Domains, AffectedDomain{Name: e.Domain, Spans: zd.EdgeSpans(e.Domain, ns)})
 	}
 	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Name < s.Domains[j].Name })
 	if s.Class == idioms.Hijackable && s.RegDomain != "" {
-		if d.DB.DomainRegisteredOn(s.RegDomain, first) {
+		if zd.DomainRegisteredOn(s.RegDomain, first) {
 			s.Collision = true
 			s.HijackedOn = dates.None
 		} else {
-			s.HijackedOn = d.DB.DomainFirstSeenAfter(s.RegDomain, first)
+			s.HijackedOn = zd.DomainFirstSeenAfter(s.RegDomain, first)
 		}
 	} else {
 		s.HijackedOn = dates.None

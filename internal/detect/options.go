@@ -1,0 +1,50 @@
+package detect
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+// Option configures a Detector built with NewDetector. Options exist so
+// Config stops growing a field per knob; new tuning should be an Option.
+type Option func(*Detector)
+
+// NewDetector wires a detection run over the three data sources the
+// methodology reads: the zone database, the WHOIS history, and the
+// registry-operator directory.
+func NewDetector(db *zonedb.DB, wh *whois.History, dir *registry.Directory, opts ...Option) *Detector {
+	d := &Detector{DB: db, WHOIS: wh, Dir: dir}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// WithWorkers shards the extraction and classify stages across n
+// goroutines. n <= 1 runs sequentially; output is identical either way.
+func WithWorkers(n int) Option {
+	return func(d *Detector) { d.Cfg.Workers = n }
+}
+
+// WithClock overrides the detector's time source for stage timings.
+// Timings never influence detection results; this exists so tests and
+// benchmarks get deterministic stats.
+func WithClock(now func() time.Time) Option {
+	return func(d *Detector) { d.now = now }
+}
+
+// WithObs wires an observability registry for stage spans and funnel
+// counters.
+func WithObs(r *obs.Registry) Option {
+	return func(d *Detector) { d.Obs = r }
+}
+
+// WithConfig replaces the whole Config (miner tuning, ablation switches).
+// Apply it before per-field options like WithWorkers.
+func WithConfig(cfg Config) Option {
+	return func(d *Detector) { d.Cfg = cfg }
+}

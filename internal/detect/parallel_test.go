@@ -1,0 +1,57 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// comparable renders everything deterministic about a Result — the
+// funnel, mined patterns, every sacrificial record field for field and
+// in order, and the match-method counters — leaving out only the wall
+// timings.
+func comparableResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Funnel      Funnel
+		Patterns    []Pattern
+		Sacrificial []Sacrificial
+		Methods     map[string]int
+	}{r.Funnel, r.Patterns, r.Sacrificial, r.Stats.MatchesByMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClassifyWorkersByteIdentical pins the parallel-classify contract:
+// an 8-worker run emits a Result byte-identical to the serial one, not
+// merely one with matching counts. (TestParallelWorkersIdentical checks
+// the funnel across several worker counts; this is the strong form.)
+func TestClassifyWorkersByteIdentical(t *testing.T) {
+	seq := comparableResult(t, runDetector(t, Config{}))
+	par := comparableResult(t, runDetector(t, Config{Workers: 8}))
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("8-worker result differs from serial:\nserial: %s\nworkers: %s", seq, par)
+	}
+}
+
+// TestNewDetectorOptions covers the functional-options constructor: the
+// applied configuration must land on the detector fields the deprecated
+// struct-literal form sets directly.
+func TestNewDetectorOptions(t *testing.T) {
+	db, who, dir := fixture()
+	det := NewDetector(db, who, dir,
+		WithConfig(Config{SkipMining: true}),
+		WithWorkers(4))
+	if det.DB != db || det.WHOIS != who || det.Dir != dir {
+		t.Fatal("constructor dropped a dependency")
+	}
+	if !det.Cfg.SkipMining || det.Cfg.Workers != 4 {
+		t.Fatalf("options not applied: %+v", det.Cfg)
+	}
+	res := det.Run()
+	if res.Funnel.Sacrificial == 0 {
+		t.Fatal("options-built detector found nothing")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +57,10 @@ type Client struct {
 type APIError struct {
 	Status int
 	Msg    string
+	// Code is the machine-readable error code from the v1 envelope
+	// ("not_found", "invalid_cursor", ...); empty when the server spoke
+	// the legacy string envelope.
+	Code string
 	// Body is a truncated snippet of a non-JSON error payload (an HTML
 	// error page from a proxy, a panic trace), kept for diagnostics.
 	Body string
@@ -109,14 +114,22 @@ func drain(body io.ReadCloser) {
 	body.Close()
 }
 
-// errorFromResponse reads a bounded amount of a non-200 body. Servers
-// answer with a JSON {"error": ...}; anything else (a proxy's HTML page)
-// is preserved as a truncated snippet.
+// errorFromResponse reads a bounded amount of a non-200 body. v1 servers
+// answer {"error":{"code","message"}}; pre-v1 servers answered
+// {"error":"message"}, still accepted so the client can talk to either
+// for one release. Anything else (a proxy's HTML page) is preserved as a
+// truncated snippet.
 func errorFromResponse(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
 	var ae apiError
-	if err := json.Unmarshal(raw, &ae); err == nil && ae.Error != "" {
-		return &APIError{Status: resp.StatusCode, Msg: ae.Error}
+	if err := json.Unmarshal(raw, &ae); err == nil && ae.Error.Message != "" {
+		return &APIError{Status: resp.StatusCode, Msg: ae.Error.Message, Code: ae.Error.Code}
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &legacy); err == nil && legacy.Error != "" {
+		return &APIError{Status: resp.StatusCode, Msg: legacy.Error}
 	}
 	s := strings.TrimSpace(string(raw))
 	if len(s) > errSnippet {
@@ -154,7 +167,29 @@ func (c *Client) Stats() (*StatsResponse, error) {
 // StatsContext is Stats bounded by ctx.
 func (c *Client) StatsContext(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.getJSON(ctx, "stats", "/stats", &out); err != nil {
+	if err := c.getJSON(ctx, "stats", "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Zones fetches one page of observed zones. cursor "" starts from the
+// beginning; limit 0 fetches everything in one response. The returned
+// NextCursor resumes the listing, and is empty on the last page.
+func (c *Client) Zones(ctx context.Context, cursor string, limit int) (*ZonesResponse, error) {
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/zones"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out ZonesResponse
+	if err := c.getJSON(ctx, "zones", path, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -168,7 +203,7 @@ func (c *Client) Domain(name dnsname.Name) (*DomainResponse, error) {
 // DomainContext is Domain bounded by ctx.
 func (c *Client) DomainContext(ctx context.Context, name dnsname.Name) (*DomainResponse, error) {
 	var out DomainResponse
-	if err := c.getJSON(ctx, "domain", "/domains/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "domain", "/v1/domains/"+url.PathEscape(string(name)), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -179,10 +214,29 @@ func (c *Client) Nameserver(name dnsname.Name) (*NameserverResponse, error) {
 	return c.NameserverContext(context.Background(), name)
 }
 
-// NameserverContext is Nameserver bounded by ctx.
+// NameserverContext is Nameserver bounded by ctx. The response carries
+// the full domain list; use NameserverPage to walk it in pages.
 func (c *Client) NameserverContext(ctx context.Context, name dnsname.Name) (*NameserverResponse, error) {
+	return c.NameserverPage(ctx, name, "", 0)
+}
+
+// NameserverPage fetches one page of a nameserver's delegated domains
+// (cursor ""/limit 0 fetch everything). Summary always reflects the full
+// exposure regardless of the window.
+func (c *Client) NameserverPage(ctx context.Context, name dnsname.Name, cursor string, limit int) (*NameserverResponse, error) {
+	path := "/v1/nameservers/" + url.PathEscape(string(name))
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
 	var out NameserverResponse
-	if err := c.getJSON(ctx, "nameserver", "/nameservers/"+url.PathEscape(string(name)), &out); err != nil {
+	if err := c.getJSON(ctx, "nameserver", path, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -198,7 +252,7 @@ func (c *Client) SnapshotContext(ctx context.Context, zone dnsname.Name, date st
 	ctx, sp := c.Tracer.Start(ctx, "dzdbapi.client.snapshot")
 	var body string
 	err := c.do(ctx, func(ctx context.Context) error {
-		u := fmt.Sprintf("%s/zones/%s/snapshot?date=%s",
+		u := fmt.Sprintf("%s/v1/zones/%s/snapshot?date=%s",
 			c.BaseURL, url.PathEscape(string(zone)), url.QueryEscape(date))
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 		if err != nil {

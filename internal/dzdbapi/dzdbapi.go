@@ -3,19 +3,38 @@
 // (the paper cites dzdb.caida.org/domains/WHITECOUNTY.NET when walking
 // through the original-nameserver match).
 //
-// Endpoints:
+// The stable surface is versioned under /v1/:
 //
-//	GET /stats                      database-wide counts
-//	GET /zones                      observed zones
-//	GET /domains/{name}             registration spans + nameserver history
-//	GET /nameservers/{name}         first-seen + delegated domains with spans
-//	GET /zones/{zone}/snapshot?date=YYYY-MM-DD   master-file snapshot
+//	GET /v1/stats                      database-wide counts
+//	GET /v1/zones?cursor=&limit=       observed zones (paginated)
+//	GET /v1/domains/{name}             registration spans + nameserver history
+//	GET /v1/nameservers/{name}?cursor=&limit=
+//	                                   first-seen + delegated domains (paginated)
+//	GET /v1/zones/{zone}/snapshot?date=YYYY-MM-DD   master-file snapshot
+//
+// The unversioned legacy routes remain mounted as thin aliases for one
+// release; they answer identically (modulo the /v1/zones envelope) and
+// carry Deprecation and Link: rel="successor-version" headers.
+//
+// Pagination: list endpoints accept ?limit= (page size; absent or 0
+// returns everything, preserving legacy behaviour) and ?cursor= (opaque
+// token from the previous page's next_cursor; empty means start). A
+// response with more data sets next_cursor; the last page omits it.
+//
+// Errors are a uniform envelope {"error":{"code","message"}} with codes
+// invalid_name, invalid_date, invalid_cursor, invalid_limit, not_found,
+// and internal.
+//
+// Every request reads one immutable zonedb.View pinned at dispatch, so
+// responses are consistent even while a re-ingest publishes new
+// generations behind the API.
 //
 // Names are case-insensitive, as in DNS. All responses are JSON except
 // the snapshot, which is text/dns in master-file format.
 package dzdbapi
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -26,6 +45,7 @@ import (
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
+	"repro/internal/dnszone"
 	"repro/internal/interval"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -69,13 +89,18 @@ type NSHistory struct {
 	Spans      []Span `json:"spans"`
 }
 
-// NameserverResponse is the /nameservers/{name} payload.
+// NameserverResponse is the /nameservers/{name} payload. Summary always
+// aggregates the nameserver's full exposure; pagination windows only the
+// Domains list.
 type NameserverResponse struct {
 	Name      string        `json:"name"`
 	FirstSeen string        `json:"first_seen,omitempty"`
 	GlueSpans []Span        `json:"glue_spans,omitempty"`
 	Domains   []DomainOfNS  `json:"domains,omitempty"`
 	Summary   DegreeSummary `json:"summary"`
+	// NextCursor resumes the Domains list on the next page; empty on the
+	// last (or an unpaginated) response.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // DomainOfNS is one domain that delegated to the nameserver.
@@ -97,8 +122,31 @@ type StatsResponse struct {
 	Zones       []string `json:"zones"`
 }
 
-// Server serves a closed zonedb.DB. The DB must not be mutated while
-// serving.
+// ZonesResponse is the /v1/zones payload.
+type ZonesResponse struct {
+	Zones      []string `json:"zones"`
+	NextCursor string   `json:"next_cursor,omitempty"`
+}
+
+// store is the read surface a request needs. Requests normally get the
+// DB's published *zonedb.View — immutable and lock-free — pinned once at
+// dispatch.
+type store interface {
+	Zones() []dnsname.Name
+	NumDomains() int
+	NumNameservers() int
+	DomainSpans(domain dnsname.Name) *interval.Set
+	NSHistory(domain dnsname.Name) map[dnsname.Name]*interval.Set
+	NSFirstSeen(ns dnsname.Name) dates.Day
+	GlueSpans(host dnsname.Name) *interval.Set
+	EdgesOf(ns dnsname.Name) []zonedb.Edge
+	EdgeSpans(domain, ns dnsname.Name) *interval.Set
+	SnapshotOn(zone dnsname.Name, day dates.Day) *dnszone.Snapshot
+}
+
+// Server serves a zonedb.DB. Each request reads the DB's published View,
+// so serving concurrently with ingestion (and swapping databases with
+// zonedb.DB.Adopt) is safe.
 type Server struct {
 	db       *zonedb.DB
 	mux      *http.ServeMux
@@ -131,12 +179,41 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 		"API requests by route and status class.", "route", "class")
 	s.latency = reg.HistogramVec(MetricRequestSeconds,
 		"API request latency by route.", nil, "route")
-	s.handle("GET /stats", "/stats", s.handleStats)
-	s.handle("GET /zones", "/zones", s.handleZones)
-	s.handle("GET /domains/{name}", "/domains/{name}", s.handleDomain)
-	s.handle("GET /nameservers/{name}", "/nameservers/{name}", s.handleNameserver)
-	s.handle("GET /zones/{zone}/snapshot", "/zones/{zone}/snapshot", s.handleSnapshot)
+
+	s.handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	s.handle("GET /v1/zones", "/v1/zones", s.handleZonesV1)
+	s.handle("GET /v1/domains/{name}", "/v1/domains/{name}", s.handleDomain)
+	s.handle("GET /v1/nameservers/{name}", "/v1/nameservers/{name}", s.handleNameserver)
+	s.handle("GET /v1/zones/{zone}/snapshot", "/v1/zones/{zone}/snapshot", s.handleSnapshot)
+
+	// Legacy unversioned aliases, kept for one release. They keep their
+	// own route labels so deprecated traffic stays visible in metrics.
+	s.handle("GET /stats", "/stats", deprecated("/v1/stats", s.handleStats))
+	s.handle("GET /zones", "/zones", deprecated("/v1/zones", s.handleZones))
+	s.handle("GET /domains/{name}", "/domains/{name}", deprecated("/v1/domains/{name}", s.handleDomain))
+	s.handle("GET /nameservers/{name}", "/nameservers/{name}", deprecated("/v1/nameservers/{name}", s.handleNameserver))
+	s.handle("GET /zones/{zone}/snapshot", "/zones/{zone}/snapshot", deprecated("/v1/zones/{zone}/snapshot", s.handleSnapshot))
 	return s
+}
+
+// deprecated wraps a legacy alias handler with RFC 8594-style headers
+// pointing clients at the versioned successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// store pins the view a request will read. A DB that was never closed
+// has an empty published view; those (test-only) servers read the DB
+// directly, as before versioning.
+func (s *Server) store() store {
+	if v := s.db.View(); v.Closed() {
+		return v
+	}
+	return s.db
 }
 
 // Metrics returns the registry the request middleware records into.
@@ -224,38 +301,107 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// Error codes carried in the v1 error envelope.
+const (
+	CodeInvalidName   = "invalid_name"
+	CodeInvalidDate   = "invalid_date"
+	CodeInvalidCursor = "invalid_cursor"
+	CodeInvalidLimit  = "invalid_limit"
+	CodeNotFound      = "not_found"
+	CodeInternal      = "internal"
+)
+
+// ErrorBody is the machine-readable half of the error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+type apiError struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 func parseName(w http.ResponseWriter, raw string) (dnsname.Name, bool) {
 	n, err := dnsname.Parse(raw)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid name %q: %v", raw, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidName, "invalid name %q: %v", raw, err)
 		return "", false
 	}
 	return n, true
 }
 
+// Cursors are opaque to clients: the base64url-encoded key of the last
+// item on the previous page. Resumption is by key, not offset, so a page
+// boundary stays correct even if the set changes between requests.
+func encodeCursor(key string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(key))
+}
+
+func decodeCursor(raw string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(raw)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// pageWindow resolves ?cursor=&limit= against a sorted list of n keys.
+// It returns the [start, end) window and the next cursor ("" when the
+// window reaches the end). limit == 0 means no pagination. The bool is
+// false if the request was malformed (an error response has been
+// written).
+func pageWindow(w http.ResponseWriter, r *http.Request, n int, keyAt func(int) string) (int, int, string, bool) {
+	q := r.URL.Query()
+	limit := 0
+	if rawLimit := q.Get("limit"); rawLimit != "" {
+		v, err := strconv.Atoi(rawLimit)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidLimit, "invalid limit %q", rawLimit)
+			return 0, 0, "", false
+		}
+		limit = v
+	}
+	start := 0
+	if rawCursor := q.Get("cursor"); rawCursor != "" {
+		key, err := decodeCursor(rawCursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidCursor, "invalid cursor %q", rawCursor)
+			return 0, 0, "", false
+		}
+		start = sort.Search(n, func(i int) bool { return keyAt(i) > key })
+	}
+	end := n
+	if limit > 0 && start+limit < n {
+		end = start + limit
+	}
+	next := ""
+	if end < n {
+		next = encodeCursor(keyAt(end - 1))
+	}
+	return start, end, next, true
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	zones := s.db.Zones()
+	db := s.store()
+	zones := db.Zones()
 	zs := make([]string, len(zones))
 	for i, z := range zones {
 		zs[i] = string(z)
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Domains:     s.db.NumDomains(),
-		Nameservers: s.db.NumNameservers(),
+		Domains:     db.NumDomains(),
+		Nameservers: db.NumNameservers(),
 		Zones:       zs,
 	})
 }
 
+// handleZones is the legacy /zones shape: a bare, unpaginated array.
 func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
-	zones := s.db.Zones()
+	zones := s.store().Zones()
 	zs := make([]string, len(zones))
 	for i, z := range zones {
 		zs[i] = string(z)
@@ -263,14 +409,28 @@ func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, zs)
 }
 
+func (s *Server) handleZonesV1(w http.ResponseWriter, r *http.Request) {
+	zones := s.store().Zones()
+	start, end, next, ok := pageWindow(w, r, len(zones), func(i int) string { return string(zones[i]) })
+	if !ok {
+		return
+	}
+	zs := make([]string, 0, end-start)
+	for _, z := range zones[start:end] {
+		zs = append(zs, string(z))
+	}
+	writeJSON(w, http.StatusOK, ZonesResponse{Zones: zs, NextCursor: next})
+}
+
 func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 	name, ok := parseName(w, r.PathValue("name"))
 	if !ok {
 		return
 	}
+	db := s.store()
 	resp := DomainResponse{Name: string(name)}
-	resp.Registered = spansOf(s.db.DomainSpans(name))
-	hist := s.db.NSHistory(name)
+	resp.Registered = spansOf(db.DomainSpans(name))
+	hist := db.NSHistory(name)
 	for ns, sp := range hist {
 		resp.NSHistory = append(resp.NSHistory, NSHistory{Nameserver: string(ns), Spans: spansOf(sp)})
 	}
@@ -278,7 +438,7 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		return resp.NSHistory[i].Nameserver < resp.NSHistory[j].Nameserver
 	})
 	if resp.Registered == nil && len(resp.NSHistory) == 0 {
-		writeError(w, http.StatusNotFound, "domain %s not observed", name)
+		writeError(w, http.StatusNotFound, CodeNotFound, "domain %s not observed", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -289,20 +449,27 @@ func (s *Server) handleNameserver(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	first := s.db.NSFirstSeen(name)
+	db := s.store()
+	first := db.NSFirstSeen(name)
 	if first == dates.None {
-		writeError(w, http.StatusNotFound, "nameserver %s not observed", name)
+		writeError(w, http.StatusNotFound, CodeNotFound, "nameserver %s not observed", name)
 		return
 	}
 	resp := NameserverResponse{Name: string(name), FirstSeen: first.String()}
-	resp.GlueSpans = spansOf(s.db.GlueSpans(name))
-	for _, e := range s.db.EdgesOf(name) {
-		sp := s.db.EdgeSpans(e.Domain, name)
+	resp.GlueSpans = spansOf(db.GlueSpans(name))
+	for _, e := range db.EdgesOf(name) {
+		sp := db.EdgeSpans(e.Domain, name)
 		resp.Domains = append(resp.Domains, DomainOfNS{Domain: string(e.Domain), Spans: spansOf(sp)})
 		resp.Summary.Domains++
 		resp.Summary.DomainDays += sp.TotalDays()
 	}
 	sort.Slice(resp.Domains, func(i, j int) bool { return resp.Domains[i].Domain < resp.Domains[j].Domain })
+	start, end, next, ok := pageWindow(w, r, len(resp.Domains), func(i int) string { return resp.Domains[i].Domain })
+	if !ok {
+		return
+	}
+	resp.Domains = resp.Domains[start:end]
+	resp.NextCursor = next
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -311,27 +478,28 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	db := s.store()
 	raw := r.URL.Query().Get("date")
 	day, err := dates.Parse(raw)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid date %q (want YYYY-MM-DD)", raw)
+		writeError(w, http.StatusBadRequest, CodeInvalidDate, "invalid date %q (want YYYY-MM-DD)", raw)
 		return
 	}
 	found := false
-	for _, z := range s.db.Zones() {
+	for _, z := range db.Zones() {
 		if z == zone {
 			found = true
 		}
 	}
 	if !found {
-		writeError(w, http.StatusNotFound, "zone %s not observed", zone)
+		writeError(w, http.StatusNotFound, CodeNotFound, "zone %s not observed", zone)
 		return
 	}
-	snap := s.db.SnapshotOn(zone, day)
+	snap := db.SnapshotOn(zone, day)
 	w.Header().Set("Content-Type", "text/dns; charset=utf-8")
 	var sb strings.Builder
 	if err := snap.Write(&sb); err != nil {
-		writeError(w, http.StatusInternalServerError, "rendering snapshot: %v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "rendering snapshot: %v", err)
 		return
 	}
 	_, _ = w.Write([]byte(sb.String()))

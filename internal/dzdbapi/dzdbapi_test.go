@@ -152,22 +152,39 @@ func TestMiddlewareRecordsRequests(t *testing.T) {
 		t.Fatal("expected 404")
 	}
 
+	// A raw request to a legacy alias lands under its own (legacy) route
+	// label, so deprecated traffic stays visible.
+	if resp, err := ts.Client().Get(ts.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.Header.Get("Deprecation") == "" {
+			t.Error("legacy alias response missing Deprecation header")
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/stats") {
+			t.Errorf("legacy alias Link = %q, want successor /v1/stats", link)
+		}
+		resp.Body.Close()
+	}
+
 	reg := srv.Metrics()
 	requests := reg.CounterVec(MetricRequests, "", "route", "class")
-	if got := requests.With("/stats", "2xx").Value(); got != 1 {
+	if got := requests.With("/v1/stats", "2xx").Value(); got != 1 {
 		t.Errorf("stats 2xx = %d, want 1", got)
 	}
-	if got := requests.With("/domains/{name}", "2xx").Value(); got != 1 {
+	if got := requests.With("/v1/domains/{name}", "2xx").Value(); got != 1 {
 		t.Errorf("domains 2xx = %d, want 1", got)
 	}
-	if got := requests.With("/domains/{name}", "4xx").Value(); got != 1 {
+	if got := requests.With("/v1/domains/{name}", "4xx").Value(); got != 1 {
 		t.Errorf("domains 4xx = %d, want 1", got)
 	}
+	if got := requests.With("/stats", "2xx").Value(); got != 1 {
+		t.Errorf("legacy stats 2xx = %d, want 1", got)
+	}
 	latency := reg.HistogramVec(MetricRequestSeconds, "", nil, "route")
-	if got := latency.With("/domains/{name}").Count(); got != 2 {
+	if got := latency.With("/v1/domains/{name}").Count(); got != 2 {
 		t.Errorf("domains latency observations = %d, want 2", got)
 	}
-	if got := latency.With("/stats").Count(); got != 1 {
+	if got := latency.With("/v1/stats").Count(); got != 1 {
 		t.Errorf("stats latency observations = %d, want 1", got)
 	}
 
@@ -176,8 +193,8 @@ func TestMiddlewareRecordsRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{
-		`dzdb_http_requests_total{route="/domains/{name}",class="4xx"} 1`,
-		`dzdb_http_request_seconds_bucket{route="/stats",le="+Inf"} 1`,
+		`dzdb_http_requests_total{route="/v1/domains/{name}",class="4xx"} 1`,
+		`dzdb_http_request_seconds_bucket{route="/v1/stats",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(buf.String(), frag) {
 			t.Errorf("exposition missing %q:\n%s", frag, buf.String())

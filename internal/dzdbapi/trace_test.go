@@ -46,7 +46,7 @@ func TestClientServerPreservesTraceID(t *testing.T) {
 	root.End()
 
 	clientSpan := findRecord(t, clientTracer, "dzdbapi.client.stats")
-	serverSpan := findRecord(t, serverTracer, "dzdbapi./stats")
+	serverSpan := findRecord(t, serverTracer, "dzdbapi./v1/stats")
 	rootSpan := findRecord(t, clientTracer, "test.root")
 	if serverSpan.TraceID != rootSpan.TraceID {
 		t.Fatalf("server trace %s != client trace %s", serverSpan.TraceID, rootSpan.TraceID)

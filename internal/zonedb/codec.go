@@ -40,26 +40,38 @@ func sortedKeys[K ~string, V any](m map[K]V) []K {
 // WriteArchive archives the database. The DB must be closed first so every
 // span is materialized.
 func (db *DB) WriteArchive(w io.Writer) error {
-	if !db.closed {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.writeArchive(w)
+}
+
+// WriteArchive archives the view. The view's generation must have been
+// sealed by Close so every span is materialized.
+func (v *View) WriteArchive(w io.Writer) error {
+	return v.tables.writeArchive(w)
+}
+
+func (t *tables) writeArchive(w io.Writer) error {
+	if !t.closed {
 		return fmt.Errorf("zonedb: archive requires a closed database")
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintf(bw, "%s\nclose %s\n", archiveMagic, db.closeDay)
-	for _, z := range db.Zones() {
+	fmt.Fprintf(bw, "%s\nclose %s\n", archiveMagic, t.closeDay)
+	for _, z := range t.Zones() {
 		fmt.Fprintf(bw, "Z %s\n", z)
 	}
-	for _, d := range sortedKeys(db.domains) {
-		for _, r := range db.domains[d].Spans() {
+	for _, d := range sortedKeys(t.domains) {
+		for _, r := range t.domains[d].Spans() {
 			fmt.Fprintf(bw, "D %s %s %s\n", d, r.First, r.Last)
 		}
 	}
-	for _, h := range sortedKeys(db.glue) {
-		for _, r := range db.glue[h].Spans() {
+	for _, h := range sortedKeys(t.glue) {
+		for _, r := range t.glue[h].Spans() {
 			fmt.Fprintf(bw, "G %s %s %s\n", h, r.First, r.Last)
 		}
 	}
-	edges := make([]Edge, 0, len(db.edges))
-	for e := range db.edges {
+	edges := make([]Edge, 0, len(t.edges))
+	for e := range t.edges {
 		edges = append(edges, e)
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -69,7 +81,7 @@ func (db *DB) WriteArchive(w io.Writer) error {
 		return edges[i].NS < edges[j].NS
 	})
 	for _, e := range edges {
-		for _, r := range db.edges[e].Spans() {
+		for _, r := range t.edges[e].Spans() {
 			fmt.Fprintf(bw, "E %s %s %s %s\n", e.Domain, e.NS, r.First, r.Last)
 		}
 	}
@@ -79,6 +91,9 @@ func (db *DB) WriteArchive(w io.Writer) error {
 // ReadFrom loads an archive produced by WriteArchive into a fresh, closed DB.
 func ReadFrom(r io.Reader) (*DB, error) {
 	db := New()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	lineNo := 0
@@ -129,7 +144,7 @@ func ReadFrom(r io.Reader) (*DB, error) {
 			if err != nil {
 				return nil, fail(err.Error())
 			}
-			db.zones[z] = true
+			g.zones[z] = true
 		case "D", "G":
 			if len(fields) != 4 {
 				return nil, fail("malformed span")
@@ -143,15 +158,9 @@ func ReadFrom(r io.Reader) (*DB, error) {
 				return nil, fail(err.Error())
 			}
 			if fields[0] == "D" {
-				if db.domains[name] == nil {
-					db.domains[name] = newSet()
-				}
-				db.domains[name].Add(span)
+				mutableSet(g, g.domains, name).Add(span)
 			} else {
-				if db.glue[name] == nil {
-					db.glue[name] = newSet()
-				}
-				db.glue[name].Add(span)
+				mutableSet(g, g.glue, name).Add(span)
 			}
 		case "E":
 			if len(fields) != 5 {
@@ -170,12 +179,11 @@ func ReadFrom(r io.Reader) (*DB, error) {
 				return nil, fail(err.Error())
 			}
 			e := Edge{Domain: domain, NS: ns}
-			if db.edges[e] == nil {
-				db.edges[e] = newSet()
-				db.byNS[ns] = append(db.byNS[ns], e)
-				db.byDomain[domain] = append(db.byDomain[domain], e)
+			if g.edges[e] == nil {
+				g.byNS[ns] = append(g.byNS[ns], e)
+				g.byDomain[domain] = append(g.byDomain[domain], e)
 			}
-			db.edges[e].Add(span)
+			mutableSet(g, g.edges, e).Add(span)
 		default:
 			return nil, fail("unknown record kind")
 		}
@@ -186,7 +194,8 @@ func ReadFrom(r io.Reader) (*DB, error) {
 	if closeDay == dates.None {
 		return nil, fmt.Errorf("zonedb: archive missing close record")
 	}
-	db.closed = true
-	db.closeDay = closeDay
+	g.closed = true
+	g.closeDay = closeDay
+	db.publishLocked()
 	return db, nil
 }

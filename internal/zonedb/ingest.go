@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
@@ -61,12 +62,24 @@ type Ingester struct {
 	// Obs, when set, records quarantined snapshots under
 	// MetricQuarantined. Nil disables metrics.
 	Obs *obs.Registry
+	// Workers, when > 1, makes IngestAll shard ingestion across that many
+	// goroutines, each owning the zones hashed to it (a zone's snapshots
+	// stay on one worker, so per-zone ordering and gap validation are
+	// unchanged). The per-worker databases are merged by zone when the
+	// source drains — delegation edges, domains, and glue are keyed by
+	// names inside their zone, so the merge is a disjoint map union.
+	// Direct AddSnapshot calls are unaffected.
+	Workers int
 
 	db *DB
 	// prev holds the previous snapshot's contents per zone.
 	prev        map[dnsname.Name]*snapState
 	last        dates.Day
 	quarantined []QuarantinedSnapshot
+	// sharedQ, set on the parent and its workers during a parallel
+	// IngestAll, counts quarantined snapshots across all of them so the
+	// MaxQuarantine budget is global, not per worker.
+	sharedQ *int64
 }
 
 type snapState struct {
@@ -194,8 +207,14 @@ func (ing *Ingester) reject(zone dnsname.Name, date dates.Day, source string, er
 	if !ing.Degraded {
 		return err
 	}
-	if ing.MaxQuarantine > 0 && len(ing.quarantined) >= ing.MaxQuarantine {
-		return fmt.Errorf("%w (limit %d): %v", ErrTooManyQuarantined, ing.MaxQuarantine, err)
+	if ing.MaxQuarantine > 0 {
+		if ing.sharedQ != nil {
+			if int(atomic.AddInt64(ing.sharedQ, 1)) > ing.MaxQuarantine {
+				return fmt.Errorf("%w (limit %d): %v", ErrTooManyQuarantined, ing.MaxQuarantine, err)
+			}
+		} else if len(ing.quarantined) >= ing.MaxQuarantine {
+			return fmt.Errorf("%w (limit %d): %v", ErrTooManyQuarantined, ing.MaxQuarantine, err)
+		}
 	}
 	why := reason(err)
 	ing.quarantined = append(ing.quarantined, QuarantinedSnapshot{
@@ -294,7 +313,7 @@ func (ing *Ingester) addSnapshot(snap *dnszone.Snapshot, source string) error {
 		}
 	}
 	// The zone header marks the zone as observed even when empty.
-	ing.db.zones[snap.Zone] = true
+	ing.db.markZone(snap.Zone)
 	ing.prev[snap.Zone] = cur
 	if snap.Date > ing.last || ing.last == dates.None {
 		ing.last = snap.Date
@@ -302,11 +321,19 @@ func (ing *Ingester) addSnapshot(snap *dnszone.Snapshot, source string) error {
 	return nil
 }
 
-// Finish closes the DB at the last ingested day and returns it. The
+// Finish closes the DB and returns it. Each zone's still-open facts are
+// sealed at that zone's own last ingested day — not the global last day —
+// so a zone whose snapshot series ended early (its remaining days
+// quarantined by a gap cascade, or simply absent from the input) does not
+// have its intervals silently extended through days nobody observed. The
 // Ingester must not be used afterwards.
 func (ing *Ingester) Finish() *DB {
-	if ing.last != dates.None {
-		ing.db.Close(ing.last)
+	last := make(map[dnsname.Name]dates.Day, len(ing.prev))
+	for zone, st := range ing.prev {
+		last[zone] = st.date
+	}
+	if len(last) > 0 {
+		ing.db.CloseZones(last)
 	}
 	return ing.db
 }

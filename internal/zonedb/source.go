@@ -2,10 +2,15 @@ package zonedb
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"io/fs"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dates"
+	"repro/internal/dnsname"
 	"repro/internal/dnszone"
 )
 
@@ -55,11 +60,44 @@ func (f *FileSource) Next() (*dnszone.Snapshot, string, error) {
 	return snap, path, nil
 }
 
+// SliceSource yields an in-memory snapshot slice in order — the test and
+// benchmark counterpart of FileSource.
+type SliceSource struct {
+	Snaps []*dnszone.Snapshot
+	// Name, when set, labels snapshots for diagnostics as Name[i].
+	Name string
+
+	next int
+}
+
+// Next implements SnapshotSource.
+func (s *SliceSource) Next() (*dnszone.Snapshot, string, error) {
+	if s.next >= len(s.Snaps) {
+		return nil, "", io.EOF
+	}
+	snap := s.Snaps[s.next]
+	name := ""
+	if s.Name != "" {
+		name = fmt.Sprintf("%s[%d]", s.Name, s.next)
+	}
+	s.next++
+	return snap, name, nil
+}
+
 // IngestAll drains src into the ingester. In strict mode the first
 // invalid snapshot aborts the ingest with its error; in degraded mode
 // invalid snapshots — unreadable, unparseable, undated, out of order, or
 // gapped — are quarantined and ingestion continues with the rest.
+//
+// With Workers > 1 the source is still drained serially (snapshot order
+// is semantic), but each snapshot is handed to the worker that owns its
+// zone, and the per-worker databases are merged once the source is
+// exhausted. The result is identical to a serial ingest except that
+// Quarantine() entries are sorted rather than in arrival order.
 func (ing *Ingester) IngestAll(src SnapshotSource) error {
+	if ing.Workers > 1 {
+		return ing.ingestParallel(src, ing.Workers)
+	}
 	for {
 		snap, name, err := src.Next()
 		if err == io.EOF {
@@ -76,4 +114,108 @@ func (ing *Ingester) IngestAll(src SnapshotSource) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
+}
+
+// zoneWorker maps a zone to its owning worker. All snapshots of one zone
+// land on one worker, preserving per-zone ordering and gap validation.
+func zoneWorker(zone dnsname.Name, workers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(zone))
+	return int(h.Sum32() % uint32(workers))
+}
+
+// ingestParallel shards src across a zone-affine worker pool. The parent
+// ingester ends up holding the merged database, per-zone history, and
+// quarantine report, exactly as if it had ingested serially.
+func (ing *Ingester) ingestParallel(src SnapshotSource, workers int) error {
+	type item struct {
+		snap *dnszone.Snapshot
+		name string
+	}
+	qn := int64(len(ing.quarantined))
+	ing.sharedQ = &qn
+	defer func() { ing.sharedQ = nil }()
+
+	children := make([]*Ingester, workers)
+	chans := make([]chan item, workers)
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := range children {
+		c := NewIngester()
+		c.Degraded = ing.Degraded
+		c.MaxQuarantine = ing.MaxQuarantine
+		c.Obs = ing.Obs
+		c.sharedQ = &qn
+		children[i] = c
+		chans[i] = make(chan item, 64)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for it := range chans[i] {
+				if errs[i] != nil {
+					continue // drain the channel after a failure
+				}
+				if err := children[i].addSnapshot(it.snap, it.name); err != nil {
+					errs[i] = fmt.Errorf("%s: %w", it.name, err)
+					failed.Store(true)
+				}
+			}
+		}(i)
+	}
+
+	var dispatchErr error
+	for !failed.Load() {
+		snap, name, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			wrapped := fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+			if rerr := ing.reject("", dates.None, name, wrapped); rerr != nil {
+				dispatchErr = rerr
+				break
+			}
+			continue
+		}
+		chans[zoneWorker(snap.Zone, workers)] <- item{snap: snap, name: name}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	if dispatchErr != nil {
+		return dispatchErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge the per-worker shards. Zones are disjoint across workers, so
+	// everything but the byNS index (a nameserver can serve domains in
+	// many zones) is a plain union.
+	for _, c := range children {
+		for zone, st := range c.prev {
+			ing.prev[zone] = st
+		}
+		if c.last != dates.None && (ing.last == dates.None || c.last > ing.last) {
+			ing.last = c.last
+		}
+		ing.quarantined = append(ing.quarantined, c.quarantined...)
+		ing.db.absorb(c.db)
+	}
+	sort.Slice(ing.quarantined, func(i, j int) bool {
+		a, b := ing.quarantined[i], ing.quarantined[j]
+		if a.Zone != b.Zone {
+			return a.Zone < b.Zone
+		}
+		if a.Date != b.Date {
+			return a.Date < b.Date
+		}
+		return a.Source < b.Source
+	})
+	return nil
 }

@@ -9,14 +9,31 @@
 // daily snapshots at one-day granularity, at event cost instead of
 // snapshot cost. SnapshotOn reconstructs any single day's zone file.
 //
-// The DB deliberately exposes only zone-derivable queries. The detector is
-// built exclusively on this interface plus WHOIS, never on simulator
+// # Snapshot isolation
+//
+// The DB is an epoch store. Writers — the registry.Recorder mutators and
+// the snapshot Ingester — build into a private generation; Close (or
+// CloseZones) seals the generation and publishes it as an immutable
+// *View with a single atomic pointer flip. Readers call View() once and
+// hold the result for their whole operation: every query against that
+// View is lock-free, safe under concurrent ingestion, and can never
+// observe a half-ingested day. Adopt swaps in an independently rebuilt
+// database the same way, which is how dzdbd keeps serving reads during a
+// full re-ingest.
+//
+// The DB's own query methods remain for single-threaded callers; they
+// read the live generation under the writer mutex and behave exactly as
+// the pre-epoch store did.
+//
+// The DB deliberately exposes only zone-derivable queries. The detector
+// is built exclusively on this interface plus WHOIS, never on simulator
 // ground truth.
 package zonedb
 
 import (
 	"net/netip"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
@@ -35,313 +52,514 @@ type Edge struct {
 // never consults.
 var docAddr = netip.MustParseAddr("192.0.2.1")
 
-// DB is the longitudinal zone database. Create with New, feed it as a
-// registry.Recorder, then call Close before querying interval data.
-type DB struct {
-	edges     map[Edge]*interval.Set
-	openEdges map[Edge]dates.Day
+// generation is the DB's private build state: the fact tables plus the
+// copy-on-write bookkeeping that keeps published Views immutable.
+type generation struct {
+	tables
 
-	domains     map[dnsname.Name]*interval.Set
-	openDomains map[dnsname.Name]dates.Day
-
-	glue     map[dnsname.Name]*interval.Set
-	openGlue map[dnsname.Name]dates.Day
-
-	// byNS and byDomain index edge keys for traversal.
-	byNS     map[dnsname.Name][]Edge
-	byDomain map[dnsname.Name][]Edge
-
-	// zoneDomains tracks which zone each domain was observed in (a domain
-	// name determines its zone, but keeping the set makes zone listing
-	// cheap).
-	zones map[dnsname.Name]bool
-
-	closed   bool
-	closeDay dates.Day
+	// frozen marks the top-level maps as shared with the most recently
+	// published View; the first mutation afterwards clones them (thaw).
+	frozen bool
+	// owned, when non-nil, records which interval sets were allocated or
+	// cloned since the last publish and are therefore safe to mutate in
+	// place. nil means every set is owned (the generation has never been
+	// published).
+	owned map[*interval.Set]bool
 }
 
-// newSet allocates an empty interval set (codec helper).
-func newSet() *interval.Set { return &interval.Set{} }
-
-// New returns an empty DB.
-func New() *DB {
-	return &DB{
-		edges:       make(map[Edge]*interval.Set),
-		openEdges:   make(map[Edge]dates.Day),
-		domains:     make(map[dnsname.Name]*interval.Set),
-		openDomains: make(map[dnsname.Name]dates.Day),
-		glue:        make(map[dnsname.Name]*interval.Set),
-		openGlue:    make(map[dnsname.Name]dates.Day),
-		byNS:        make(map[dnsname.Name][]Edge),
-		byDomain:    make(map[dnsname.Name][]Edge),
-		zones:       make(map[dnsname.Name]bool),
+// newSetAt allocates an empty set under key k, registering ownership.
+func newSetAt[K comparable](g *generation, m map[K]*interval.Set, k K) *interval.Set {
+	s := &interval.Set{}
+	m[k] = s
+	if g.owned != nil {
+		g.owned[s] = true
 	}
+	return s
+}
+
+// mutableSet returns m[k] ready for in-place mutation, cloning it first
+// when the stored set is shared with a published View (and allocating it
+// when absent).
+func mutableSet[K comparable](g *generation, m map[K]*interval.Set, k K) *interval.Set {
+	s := m[k]
+	if s == nil {
+		return newSetAt(g, m, k)
+	}
+	if g.owned == nil || g.owned[s] {
+		return s
+	}
+	c := s.Clone()
+	p := &c
+	m[k] = p
+	g.owned[p] = true
+	return p
+}
+
+// thaw clones the generation's top-level maps so mutations stop being
+// visible to the last published View. Interval sets and index slices are
+// still shared; sets are cloned lazily by mutableSet, and index slices
+// are only ever appended to (readers never see past their own length).
+func (g *generation) thaw() {
+	if !g.frozen {
+		return
+	}
+	g.edges = cloneMap(g.edges)
+	g.openEdges = cloneMap(g.openEdges)
+	g.domains = cloneMap(g.domains)
+	g.openDomains = cloneMap(g.openDomains)
+	g.glue = cloneMap(g.glue)
+	g.openGlue = cloneMap(g.openGlue)
+	g.byNS = cloneMap(g.byNS)
+	g.byDomain = cloneMap(g.byDomain)
+	g.zones = cloneMap(g.zones)
+	g.owned = make(map[*interval.Set]bool)
+	g.frozen = false
+}
+
+func cloneMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// DB is the longitudinal zone database handle. Create with New, feed it
+// as a registry.Recorder (or through an Ingester), then call Close to
+// seal and publish; View hands out the published immutable snapshot.
+type DB struct {
+	mu    sync.Mutex // guards gen and epoch
+	gen   *generation
+	epoch uint64
+	cur   atomic.Pointer[View]
+}
+
+// New returns an empty DB with an empty View published.
+func New() *DB {
+	db := &DB{gen: &generation{tables: newTables()}}
+	db.mu.Lock()
+	db.publishLocked()
+	db.mu.Unlock()
+	return db
+}
+
+// View returns the most recently published immutable snapshot of the
+// database. The result is never nil: before the first Close it is an
+// empty view. Holding a View pins one consistent generation; it never
+// changes under the caller, no matter what writers do afterwards.
+func (db *DB) View() *View { return db.cur.Load() }
+
+// writable returns the build generation ready for mutation, thawing it
+// if it is still shared with the last published View.
+func (db *DB) writable() *generation {
+	db.gen.thaw()
+	return db.gen
+}
+
+// publishLocked seals map ownership and flips the published view pointer.
+// Callers must hold db.mu.
+func (db *DB) publishLocked() {
+	g := db.gen
+	db.epoch++
+	v := &View{tables: g.tables, epoch: db.epoch}
+	g.frozen = true
+	g.owned = nil
+	db.cur.Store(v)
+}
+
+// Adopt atomically replaces db's published contents with other's current
+// state — the whole-database swap dzdbd performs after a background
+// re-ingest. Readers holding an old View keep it; View() calls after
+// Adopt see other's data. other (typically a freshly Finished ingester
+// DB) must not be mutated concurrently with the call; afterwards both
+// handles are independently usable.
+func (db *DB) Adopt(other *DB) {
+	other.mu.Lock()
+	og := other.gen
+	og.frozen = true
+	og.owned = nil
+	t := og.tables
+	other.mu.Unlock()
+
+	db.mu.Lock()
+	db.gen = &generation{tables: t, frozen: true}
+	db.publishLocked()
+	db.mu.Unlock()
+}
+
+// absorb merges other's fact tables into db — the parallel-ingest shard
+// merge. The shards are zone-disjoint, so every table except the byNS
+// index (one nameserver can serve many zones) is a plain union; byNS
+// appends. other must be quiescent and is dead after the call.
+func (db *DB) absorb(other *DB) {
+	other.mu.Lock()
+	og := other.gen
+	other.mu.Unlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	claim := func(s *interval.Set) {
+		if g.owned != nil {
+			g.owned[s] = true
+		}
+	}
+	for e, s := range og.edges {
+		g.edges[e] = s
+		claim(s)
+	}
+	for e, d := range og.openEdges {
+		g.openEdges[e] = d
+	}
+	for k, s := range og.domains {
+		g.domains[k] = s
+		claim(s)
+	}
+	for k, d := range og.openDomains {
+		g.openDomains[k] = d
+	}
+	for k, s := range og.glue {
+		g.glue[k] = s
+		claim(s)
+	}
+	for k, d := range og.openGlue {
+		g.openGlue[k] = d
+	}
+	for ns, es := range og.byNS {
+		g.byNS[ns] = append(g.byNS[ns], es...)
+	}
+	for d, es := range og.byDomain {
+		g.byDomain[d] = append(g.byDomain[d], es...)
+	}
+	for z := range og.zones {
+		g.zones[z] = true
+	}
+}
+
+// markZone records zone as observed (internal ingester hook for
+// header-only snapshots).
+func (db *DB) markZone(zone dnsname.Name) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.writable().zones[zone] = true
 }
 
 // DelegationAdded implements registry.Recorder.
 func (db *DB) DelegationAdded(zone, domain, ns dnsname.Name, day dates.Day) {
-	db.zones[zone] = true
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	g.zones[zone] = true
 	e := Edge{Domain: domain, NS: ns}
-	if _, open := db.openEdges[e]; open {
+	if _, open := g.openEdges[e]; open {
 		return // duplicate add; ignore
 	}
-	if _, seen := db.edges[e]; !seen {
-		db.edges[e] = &interval.Set{}
-		db.byNS[ns] = append(db.byNS[ns], e)
-		db.byDomain[domain] = append(db.byDomain[domain], e)
+	if _, seen := g.edges[e]; !seen {
+		newSetAt(g, g.edges, e)
+		g.byNS[ns] = append(g.byNS[ns], e)
+		g.byDomain[domain] = append(g.byDomain[domain], e)
 	}
-	db.openEdges[e] = day
+	g.openEdges[e] = day
 }
 
 // DelegationRemoved implements registry.Recorder. The edge was last
 // visible on day-1.
 func (db *DB) DelegationRemoved(zone, domain, ns dnsname.Name, day dates.Day) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
 	e := Edge{Domain: domain, NS: ns}
-	start, open := db.openEdges[e]
+	start, open := g.openEdges[e]
 	if !open {
 		return
 	}
-	delete(db.openEdges, e)
+	delete(g.openEdges, e)
 	if day-1 >= start {
-		db.edges[e].Add(dates.NewRange(start, day-1))
+		mutableSet(g, g.edges, e).Add(dates.NewRange(start, day-1))
 	}
 }
 
 // DomainAdded implements registry.Recorder.
 func (db *DB) DomainAdded(zone, domain dnsname.Name, day dates.Day) {
-	db.zones[zone] = true
-	if _, open := db.openDomains[domain]; open {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	g.zones[zone] = true
+	if _, open := g.openDomains[domain]; open {
 		return
 	}
-	if _, seen := db.domains[domain]; !seen {
-		db.domains[domain] = &interval.Set{}
+	if _, seen := g.domains[domain]; !seen {
+		newSetAt(g, g.domains, domain)
 	}
-	db.openDomains[domain] = day
+	g.openDomains[domain] = day
 }
 
 // DomainRemoved implements registry.Recorder.
 func (db *DB) DomainRemoved(zone, domain dnsname.Name, day dates.Day) {
-	start, open := db.openDomains[domain]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	start, open := g.openDomains[domain]
 	if !open {
 		return
 	}
-	delete(db.openDomains, domain)
+	delete(g.openDomains, domain)
 	if day-1 >= start {
-		db.domains[domain].Add(dates.NewRange(start, day-1))
+		mutableSet(g, g.domains, domain).Add(dates.NewRange(start, day-1))
 	}
 }
 
 // GlueAdded implements registry.Recorder.
 func (db *DB) GlueAdded(zone, host dnsname.Name, day dates.Day) {
-	db.zones[zone] = true
-	if _, open := db.openGlue[host]; open {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	g.zones[zone] = true
+	if _, open := g.openGlue[host]; open {
 		return
 	}
-	if _, seen := db.glue[host]; !seen {
-		db.glue[host] = &interval.Set{}
+	if _, seen := g.glue[host]; !seen {
+		newSetAt(g, g.glue, host)
 	}
-	db.openGlue[host] = day
+	g.openGlue[host] = day
 }
 
 // GlueRemoved implements registry.Recorder.
 func (db *DB) GlueRemoved(zone, host dnsname.Name, day dates.Day) {
-	start, open := db.openGlue[host]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g := db.writable()
+	start, open := g.openGlue[host]
 	if !open {
 		return
 	}
-	delete(db.openGlue, host)
+	delete(g.openGlue, host)
 	if day-1 >= start {
-		db.glue[host].Add(dates.NewRange(start, day-1))
+		mutableSet(g, g.glue, host).Add(dates.NewRange(start, day-1))
+	}
+}
+
+// sealLocked closes every still-open fact at lastFor(zone-of-fact); a
+// dates.None result leaves the fact open. Callers must hold db.mu and
+// have thawed the generation.
+func (db *DB) sealLocked(lastFor func(zone dnsname.Name) dates.Day) {
+	g := db.gen
+	for e, start := range g.openEdges {
+		if last := lastFor(e.Domain.TLD()); last != dates.None && last >= start {
+			mutableSet(g, g.edges, e).Add(dates.NewRange(start, last))
+			g.openEdges[e] = last + 1
+		}
+	}
+	for d, start := range g.openDomains {
+		if last := lastFor(d.TLD()); last != dates.None && last >= start {
+			mutableSet(g, g.domains, d).Add(dates.NewRange(start, last))
+			g.openDomains[d] = last + 1
+		}
+	}
+	for h, start := range g.openGlue {
+		if last := lastFor(h.TLD()); last != dates.None && last >= start {
+			mutableSet(g, g.glue, h).Add(dates.NewRange(start, last))
+			g.openGlue[h] = last + 1
+		}
 	}
 }
 
 // Close ends observation on lastDay: every still-open fact is recorded as
-// present through lastDay. Queries return data as of the closed state.
-// Close may be called again with a later day after further events.
+// present through lastDay. The sealed generation is published, so View()
+// reflects it afterwards. Close may be called again with a later day
+// after further events.
 func (db *DB) Close(lastDay dates.Day) {
-	for e, start := range db.openEdges {
-		if lastDay >= start {
-			db.edges[e].Add(dates.NewRange(start, lastDay))
-			db.openEdges[e] = lastDay + 1
-		}
-	}
-	for d, start := range db.openDomains {
-		if lastDay >= start {
-			db.domains[d].Add(dates.NewRange(start, lastDay))
-			db.openDomains[d] = lastDay + 1
-		}
-	}
-	for h, start := range db.openGlue {
-		if lastDay >= start {
-			db.glue[h].Add(dates.NewRange(start, lastDay))
-			db.openGlue[h] = lastDay + 1
-		}
-	}
-	db.closed = true
-	db.closeDay = lastDay
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.writable()
+	db.sealLocked(func(dnsname.Name) dates.Day { return lastDay })
+	db.gen.closed = true
+	db.gen.closeDay = lastDay
+	db.publishLocked()
 }
+
+// CloseZones is Close with a per-zone last observation day — the shape a
+// snapshot ingest needs when zones end on different days (a zone whose
+// series went dark mid-study must not have its facts extended through
+// other zones' later days). Facts in zones absent from last are left
+// open. The database's close day becomes the latest day in last.
+func (db *DB) CloseZones(last map[dnsname.Name]dates.Day) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.writable()
+	db.sealLocked(func(zone dnsname.Name) dates.Day {
+		if d, ok := last[zone]; ok {
+			return d
+		}
+		return dates.None
+	})
+	max := dates.None
+	for _, d := range last {
+		if max == dates.None || d > max {
+			max = d
+		}
+	}
+	db.gen.closed = true
+	db.gen.closeDay = max
+	db.publishLocked()
+}
+
+// The query methods below preserve the pre-epoch API: they read the live
+// build generation under the writer mutex. Concurrent-read hot paths
+// should take View() once instead.
 
 // EdgeSpans returns the presence intervals of a delegation edge, or nil.
 func (db *DB) EdgeSpans(domain, ns dnsname.Name) *interval.Set {
-	return db.edges[Edge{Domain: domain, NS: ns}]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.EdgeSpans(domain, ns)
 }
 
 // DomainSpans returns the registration intervals of a domain, or nil if
 // the domain was never observed.
 func (db *DB) DomainSpans(domain dnsname.Name) *interval.Set {
-	return db.domains[domain]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.DomainSpans(domain)
 }
 
 // GlueSpans returns the glue-presence intervals of a host, or nil.
 func (db *DB) GlueSpans(host dnsname.Name) *interval.Set {
-	return db.glue[host]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.GlueSpans(host)
 }
 
 // DomainRegisteredOn reports whether domain was registered on day.
 func (db *DB) DomainRegisteredOn(domain dnsname.Name, day dates.Day) bool {
-	s, ok := db.domains[domain]
-	return ok && s.Contains(day)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.DomainRegisteredOn(domain, day)
 }
 
 // DomainFirstSeen returns the first day domain was observed registered,
 // or dates.None.
 func (db *DB) DomainFirstSeen(domain dnsname.Name) dates.Day {
-	s, ok := db.domains[domain]
-	if !ok {
-		return dates.None
-	}
-	return s.First()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.DomainFirstSeen(domain)
 }
 
 // DomainFirstSeenAfter returns the first day >= from on which domain was
 // registered, or dates.None.
 func (db *DB) DomainFirstSeenAfter(domain dnsname.Name, from dates.Day) dates.Day {
-	s, ok := db.domains[domain]
-	if !ok {
-		return dates.None
-	}
-	return s.NextOnOrAfter(from)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.DomainFirstSeenAfter(domain, from)
 }
 
 // NSFirstSeen returns the first day any domain delegated to ns, or
 // dates.None if ns never appeared.
 func (db *DB) NSFirstSeen(ns dnsname.Name) dates.Day {
-	first := dates.None
-	for _, e := range db.byNS[ns] {
-		if f := db.edges[e].First(); f != dates.None && (first == dates.None || f < first) {
-			first = f
-		}
-	}
-	return first
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.NSFirstSeen(ns)
 }
 
 // DomainsOf returns every domain that ever delegated to ns, sorted.
 func (db *DB) DomainsOf(ns dnsname.Name) []dnsname.Name {
-	edges := db.byNS[ns]
-	out := make([]dnsname.Name, 0, len(edges))
-	for _, e := range edges {
-		out = append(out, e.Domain)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.DomainsOf(ns)
 }
 
 // EdgesOf returns the delegation edges pointing at ns. The slice is owned
 // by the DB.
-func (db *DB) EdgesOf(ns dnsname.Name) []Edge { return db.byNS[ns] }
+func (db *DB) EdgesOf(ns dnsname.Name) []Edge {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.EdgesOf(ns)
+}
 
 // NSHistory returns every nameserver domain ever delegated to, with the
 // presence intervals of each edge.
 func (db *DB) NSHistory(domain dnsname.Name) map[dnsname.Name]*interval.Set {
-	out := make(map[dnsname.Name]*interval.Set)
-	for _, e := range db.byDomain[domain] {
-		out[e.NS] = db.edges[e]
-	}
-	return out
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.NSHistory(domain)
 }
 
 // NSOn returns the nameserver set of domain on day, sorted.
 func (db *DB) NSOn(domain dnsname.Name, day dates.Day) []dnsname.Name {
-	var out []dnsname.Name
-	for _, e := range db.byDomain[domain] {
-		if db.edges[e].Contains(day) {
-			out = append(out, e.NS)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.NSOn(domain, day)
 }
 
 // Nameservers calls fn for every nameserver name ever observed in a
 // delegation, in unspecified order, stopping if fn returns false.
+// The name set is copied before fn runs, so the callback may freely
+// call other DB methods without deadlocking on the store's lock.
 func (db *DB) Nameservers(fn func(ns dnsname.Name) bool) {
-	for ns := range db.byNS {
+	for _, ns := range db.nameserverNames() {
 		if !fn(ns) {
 			return
 		}
 	}
 }
 
+func (db *DB) nameserverNames() []dnsname.Name {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]dnsname.Name, 0, len(db.gen.tables.byNS))
+	for ns := range db.gen.tables.byNS {
+		names = append(names, ns)
+	}
+	return names
+}
+
 // Domains calls fn for every domain ever observed registered, in
-// unspecified order, stopping if fn returns false.
+// unspecified order, stopping if fn returns false. Like Nameservers,
+// the lock is not held while fn runs.
 func (db *DB) Domains(fn func(domain dnsname.Name) bool) {
-	for d := range db.domains {
+	for _, d := range db.domainNames() {
 		if !fn(d) {
 			return
 		}
 	}
 }
 
+func (db *DB) domainNames() []dnsname.Name {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]dnsname.Name, 0, len(db.gen.tables.domains))
+	for d := range db.gen.tables.domains {
+		names = append(names, d)
+	}
+	return names
+}
+
 // NumNameservers returns the number of distinct nameserver names ever
 // observed.
-func (db *DB) NumNameservers() int { return len(db.byNS) }
+func (db *DB) NumNameservers() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.NumNameservers()
+}
 
 // NumDomains returns the number of distinct domains ever observed.
-func (db *DB) NumDomains() int { return len(db.domains) }
+func (db *DB) NumDomains() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.NumDomains()
+}
 
 // Zones returns the observed zones, sorted.
 func (db *DB) Zones() []dnsname.Name {
-	out := make([]dnsname.Name, 0, len(db.zones))
-	for z := range db.zones {
-		out = append(out, z)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.Zones()
 }
 
 // SnapshotOn reconstructs the zone file of one TLD on one day, as if the
 // daily snapshot had been archived.
 func (db *DB) SnapshotOn(zone dnsname.Name, day dates.Day) *dnszone.Snapshot {
-	snap := dnszone.NewSnapshot(zone, day)
-	perDomain := make(map[dnsname.Name][]dnsname.Name)
-	for e, spans := range db.edges {
-		if e.Domain.TLD() != zone {
-			continue
-		}
-		if spans.Contains(day) || db.openContains(db.openEdges[e], e, day) {
-			perDomain[e.Domain] = append(perDomain[e.Domain], e.NS)
-		}
-	}
-	for d, ns := range perDomain {
-		snap.AddDelegation(d, ns...)
-	}
-	// Glue addresses are not retained by the DB (only presence), so the
-	// snapshot records presence with a reserved-documentation address.
-	for h, spans := range db.glue {
-		if h.TLD() != zone {
-			continue
-		}
-		if spans.Contains(day) {
-			snap.AddGlue(h, docAddr)
-		}
-	}
-	snap.Sort()
-	return snap
-}
-
-func (db *DB) openContains(start dates.Day, e Edge, day dates.Day) bool {
-	if _, open := db.openEdges[e]; !open {
-		return false
-	}
-	return day >= start
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen.SnapshotOn(zone, day)
 }

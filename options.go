@@ -1,0 +1,69 @@
+package riskybiz
+
+import (
+	"context"
+
+	"repro/internal/detect"
+	"repro/internal/obs"
+)
+
+// Option tweaks a study built by RunStudy. Options are applied in order
+// over a zero Options value, so later options win.
+type Option func(*Options)
+
+// WithSeed selects the deterministic random stream.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithScale sets the simulated ecosystem's domains-per-day scale.
+func WithScale(domainsPerDay float64) Option {
+	return func(o *Options) { o.DomainsPerDay = domainsPerDay }
+}
+
+// WithDetector tunes the detection stage.
+func WithDetector(cfg detect.Config) Option {
+	return func(o *Options) { o.Detector = cfg }
+}
+
+// WithWorkers parallelizes the detector's classify stage across n
+// workers. The emitted Result is identical to a serial run.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Detector.Workers = n }
+}
+
+// WithSnapshots rebuilds the zone database through the snapshot differ
+// before detection (Options.Reingest) — the exact pipeline a
+// zone-file-based deployment runs. ingestWorkers > 1 shards the
+// re-ingest across zone-affine workers.
+func WithSnapshots(ingestWorkers int) Option {
+	return func(o *Options) {
+		o.Reingest = true
+		o.IngestWorkers = ingestWorkers
+	}
+}
+
+// WithStrictIngest aborts a re-ingest on the first invalid snapshot
+// instead of quarantining it.
+func WithStrictIngest() Option {
+	return func(o *Options) { o.StrictIngest = true }
+}
+
+// WithObs routes pipeline metrics to reg.
+func WithObs(reg *obs.Registry) Option {
+	return func(o *Options) { o.Obs = reg }
+}
+
+// RunStudy is the functional-options face of RunContext:
+//
+//	study, err := riskybiz.RunStudy(ctx,
+//		riskybiz.WithScale(25),
+//		riskybiz.WithSnapshots(8),
+//		riskybiz.WithWorkers(8))
+func RunStudy(ctx context.Context, opts ...Option) (*Study, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return RunContext(ctx, o)
+}

@@ -1,0 +1,45 @@
+package riskybiz
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOptionsCompose checks each functional option lands on the Options
+// field the deprecated struct-literal form sets directly.
+func TestOptionsCompose(t *testing.T) {
+	var o Options
+	for _, opt := range []Option{
+		WithSeed(7), WithScale(25), WithWorkers(8),
+		WithSnapshots(4), WithStrictIngest(),
+	} {
+		opt(&o)
+	}
+	if o.Seed != 7 || o.DomainsPerDay != 25 || o.Detector.Workers != 8 {
+		t.Fatalf("options = %+v", o)
+	}
+	if !o.Reingest || o.IngestWorkers != 4 || !o.StrictIngest {
+		t.Fatalf("snapshot options = %+v", o)
+	}
+}
+
+// TestRunStudyParallelMatchesSerial drives the functional-options entry
+// point with 8 classify workers against the shared serial study: the
+// detection funnel and sacrificial set must match exactly.
+func TestRunStudyParallelMatchesSerial(t *testing.T) {
+	serial := sharedStudy(t)
+	par, err := RunStudy(context.Background(),
+		WithSeed(1), WithScale(8), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Result.Funnel != serial.Result.Funnel {
+		t.Fatalf("funnel differs: %+v vs %+v", par.Result.Funnel, serial.Result.Funnel)
+	}
+	for i, s := range serial.Result.Sacrificial {
+		p := par.Result.Sacrificial[i]
+		if p.NS != s.NS || p.Idiom != s.Idiom || p.HijackedOn != s.HijackedOn {
+			t.Fatalf("record %d differs: %+v vs %+v", i, p, s)
+		}
+	}
+}

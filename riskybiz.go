@@ -29,10 +29,13 @@ package riskybiz
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/dates"
 	"repro/internal/detect"
+	"repro/internal/dnsname"
+	"repro/internal/dnszone"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
@@ -77,6 +80,10 @@ type Options struct {
 	StrictIngest bool
 	// MaxQuarantine bounds degraded-mode quarantining (0 = unlimited).
 	MaxQuarantine int
+	// IngestWorkers, when > 1, shards the re-ingest across that many
+	// zone-affine workers (zonedb.Ingester.Workers). The resulting
+	// database is identical to a serial re-ingest.
+	IngestWorkers int
 	// Obs, when set, receives ingest metrics from the re-ingest.
 	Obs *obs.Registry
 }
@@ -96,6 +103,10 @@ type Study struct {
 }
 
 // Run simulates the ecosystem, runs detection, and prepares the analyses.
+//
+// Deprecated: use RunContext (or the functional-options RunStudy), which
+// carries cancellation and trace context through the pipeline phases.
+// Run is equivalent to RunContext(context.Background(), opts).
 func Run(opts Options) (*Study, error) {
 	return RunContext(context.Background(), opts)
 }
@@ -177,6 +188,20 @@ func reingest(ctx context.Context, world *sim.World, opts Options) (*zonedb.DB, 
 	ing.MaxQuarantine = opts.MaxQuarantine
 	ing.Obs = opts.Obs
 	cfg := world.Config()
+	if opts.IngestWorkers > 1 {
+		ing.Workers = opts.IngestWorkers
+		_, psp := trace.Start(ctx, "zonedb.ingest.parallel")
+		psp.SetAttrInt("workers", opts.IngestWorkers)
+		err := ing.IngestAll(&snapshotWalker{
+			db: src, zones: src.Zones(), start: cfg.Start, end: cfg.End,
+		})
+		psp.SetError(err)
+		psp.End()
+		if err != nil {
+			return nil, zonedb.QuarantineReport{}, fmt.Errorf("riskybiz: reingest: %w", err)
+		}
+		return ing.Finish(), ing.Quarantine(), nil
+	}
 	for _, zone := range src.Zones() {
 		_, zsp := trace.Start(ctx, "zonedb.ingest.zone")
 		zsp.SetAttr("zone", string(zone))
@@ -194,4 +219,38 @@ func reingest(ctx context.Context, world *sim.World, opts Options) (*zonedb.DB, 
 		zsp.End()
 	}
 	return ing.Finish(), ing.Quarantine(), nil
+}
+
+// snapshotWalker streams a simulated world's daily snapshots zone-outer,
+// day-inner (the differ only needs per-zone chronology) without
+// materializing them all up front.
+type snapshotWalker struct {
+	db         *zonedb.DB
+	zones      []dnsname.Name
+	start, end dates.Day
+
+	started bool
+	zi      int
+	day     dates.Day
+}
+
+// Next implements zonedb.SnapshotSource.
+func (s *snapshotWalker) Next() (*dnszone.Snapshot, string, error) {
+	if !s.started {
+		s.started = true
+		s.day = s.start
+	}
+	for {
+		if s.zi >= len(s.zones) {
+			return nil, "", io.EOF
+		}
+		if s.day > s.end {
+			s.zi++
+			s.day = s.start
+			continue
+		}
+		zone, day := s.zones[s.zi], s.day
+		s.day++
+		return s.db.SnapshotOn(zone, day), fmt.Sprintf("%s@%s", zone, day), nil
+	}
 }
