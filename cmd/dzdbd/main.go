@@ -32,17 +32,15 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/detect"
 	"repro/internal/dzdbapi"
-	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/whois"
 	"repro/internal/zonedb"
@@ -56,18 +54,8 @@ func main() {
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
-	if *version {
-		fmt.Println(obs.Version())
-		return
-	}
-
-	logger := obs.NewLogger("dzdbd")
-	fatal := func(msg string, err error) {
-		logger.Error(msg, "err", err)
-		os.Exit(1)
-	}
-	reg := obs.Default
-	reg.RegisterBuildInfo()
+	app := daemon.New("dzdbd", *version)
+	logger, fatal, reg := app.Log, app.Fatal, app.Reg
 	detect.RegisterMetrics(reg)
 
 	var db *zonedb.DB
@@ -107,24 +95,13 @@ func main() {
 			"wall", res.Stats.Wall.Round(time.Millisecond).String())
 	}
 
-	mux := http.NewServeMux()
 	api := dzdbapi.NewWithRegistry(db, reg)
 	api.Log = logger
+	mux := app.ObservabilityMux()
 	mux.Handle("/", api)
-	mux.Handle("GET /metrics", reg.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	srv := daemon.HTTPServer(*addr, mux)
+	ctx, stop := daemon.SignalContext()
 	defer stop()
 
 	// SIGHUP re-reads the archive (when serving one) and Adopts it: one

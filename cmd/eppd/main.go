@@ -14,19 +14,13 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net"
-	"net/http"
-	"net/http/pprof"
-	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/eppserver"
@@ -43,16 +37,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
-	if *version {
-		fmt.Println(obs.Version())
-		return
-	}
-
-	logger := obs.NewLogger("eppd")
-	fatal := func(msg string, err error) {
-		logger.Error(msg, "err", err)
-		os.Exit(1)
-	}
+	app := daemon.New("eppd", *version)
+	logger, fatal := app.Log, app.Fatal
 
 	day, err := dates.Parse(*date)
 	if err != nil {
@@ -67,7 +53,6 @@ func main() {
 		zones = append(zones, z)
 	}
 	reg := registry.New(*name, nil, zones...)
-	obs.Default.RegisterBuildInfo()
 	srv := eppserver.New(reg)
 	srv.Clock = func() dates.Day { return day }
 	srv.Log = logger
@@ -76,28 +61,7 @@ func main() {
 	// the caller's trace_id.
 	srv.Tracer = trace.New()
 
-	var metricsSrv *http.Server
-	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("GET /metrics", obs.Default.Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		metricsSrv = &http.Server{
-			Addr:              *metricsAddr,
-			Handler:           mux,
-			ReadHeaderTimeout: 5 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-		}
-		go func() {
-			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("metrics listener", "err", err)
-			}
-		}()
-		logger.Info("metrics listening", "addr", *metricsAddr)
-	}
+	metricsSrv := app.ServeObservability(*metricsAddr)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -106,7 +70,7 @@ func main() {
 	logger.Info("serving EPP",
 		"registry", *name, "tlds", *tlds, "addr", ln.Addr().String(), "clock", day.String())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := daemon.SignalContext()
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -123,10 +87,6 @@ func main() {
 			logger.Error("close", "err", err)
 		}
 	}
-	if metricsSrv != nil {
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = metricsSrv.Shutdown(shutCtx)
-	}
+	daemon.Shutdown(metricsSrv, 5*time.Second)
 	logger.Info("stopped")
 }

@@ -34,7 +34,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
+	"repro/internal/watch"
 	"repro/internal/zonedb"
+	"repro/internal/zonedb/delta"
 )
 
 var logger = obs.NewLogger("riskybench")
@@ -209,6 +211,38 @@ func main() {
 			detect.WithWorkers(8))
 		res := det.RunContext(ctx)
 		return res.Funnel.Candidates
+	}))
+
+	// The streaming pair measures the cost model the watch subsystem
+	// changes. watch-replay applies the whole history through the
+	// incremental engine, so its ns/op ÷ items_per_op is the marginal
+	// cost of one day's update; redetect-day is what the batch pipeline
+	// pays for the same day — a full re-detect (items_per_op = 1). The
+	// per-item rates are directly comparable.
+	idx, err := delta.Build(db.View())
+	if err != nil {
+		fatalf("building delta index: %v", err)
+	}
+	nDays := int(idx.Last()-idx.First()) + 1
+	workloads = append(workloads, measure("watch-replay", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.watch.replay")
+		defer sp.End()
+		e := watch.New(world.WHOIS(), world.Directory())
+		for d := idx.First(); d <= idx.Last(); d++ {
+			if _, err := e.ApplyDay(idx.Day(d)); err != nil {
+				fatalf("watch-replay workload: %s: %v", d, err)
+			}
+		}
+		sp.SetAttrInt("items", nDays)
+		return nDays
+	}))
+	workloads = append(workloads, measure("redetect-day", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.watch.redetect")
+		defer sp.End()
+		det := detect.NewDetector(db, world.WHOIS(), world.Directory(),
+			detect.WithConfig(detect.Config{SkipMining: true}))
+		det.RunContext(ctx)
+		return 1
 	}))
 
 	root.End()

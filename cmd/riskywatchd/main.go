@@ -1,0 +1,379 @@
+// Command riskywatchd is the streaming counterpart of riskydetect: it
+// watches zone history as it grows and raises an alert the day a
+// sacrificial nameserver appears, is retracted, or gets hijacked,
+// instead of re-running batch detection over the whole archive.
+//
+// It consumes per-day zone deltas from one of two sources:
+//
+//	riskywatchd -archive PREFIX            # PREFIX.dzdb (+ PREFIX.whois), tailed on mtime
+//	riskywatchd -feed http://host:8053     # a dzdbd /v1/deltas feed, polled
+//
+// Alerts are emitted as JSON Lines on stdout or -alerts FILE, and
+// optionally POSTed to a -webhook URL. The engine state checkpoints to
+// -checkpoint FILE on an interval and on shutdown, so a restarted
+// watcher resumes where it left off without replaying history (and
+// without re-emitting old alerts — the alert sequence number is part of
+// the checkpoint).
+//
+// Usage:
+//
+//	riskybiz -scale 6 -save-data dataset
+//	riskywatchd -archive dataset -alerts alerts.jsonl -checkpoint watch.ckpt
+//	riskywatchd -feed http://localhost:8053 -whois dataset.whois -metrics :8054
+//
+// With -metrics, feed lag, checkpoint age, applied-day and per-class
+// alert counters are served on GET /metrics alongside /debug/pprof.
+// The process shuts down gracefully on SIGINT/SIGTERM, writing a final
+// checkpoint first.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/dates"
+	"repro/internal/dzdbapi"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/sim"
+	"repro/internal/watch"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+	"repro/internal/zonedb/delta"
+)
+
+func main() {
+	archive := flag.String("archive", "", "riskybiz -save-data prefix (PREFIX.dzdb, PREFIX.whois); replayed, then tailed for rewrites")
+	feed := flag.String("feed", "", "base URL of a dzdbd /v1/deltas feed to follow")
+	whoisPath := flag.String("whois", "", "WHOIS archive for registrar attribution (default PREFIX.whois in archive mode)")
+	alertsPath := flag.String("alerts", "-", "JSONL alert sink (\"-\" = stdout)")
+	webhook := flag.String("webhook", "", "POST each alert as JSON to this URL")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: restored at start when present, rewritten on interval and shutdown")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to checkpoint while applying")
+	poll := flag.Duration("poll", 2*time.Second, "feed poll / archive re-stat cadence")
+	once := flag.Bool("once", false, "exit after the first full catch-up instead of tailing")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
+	page := flag.Int("page", 365, "days per feed page")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+
+	app := daemon.New("riskywatchd", *version)
+	if (*archive == "") == (*feed == "") {
+		app.Fatal("flags", errors.New("exactly one of -archive or -feed is required"))
+	}
+
+	w := &watcher{
+		app:      app,
+		tracer:   trace.New(),
+		webhook:  *webhook,
+		hc:       &http.Client{Timeout: 10 * time.Second},
+		ckptPath: *ckptPath,
+		ckptIvl:  *ckptEvery,
+
+		lag:     app.Reg.Gauge("watch_feed_lag_days", "Days between the feed's close day and the last day applied."),
+		ckptAge: app.Reg.Gauge("watch_checkpoint_age_seconds", "Seconds since the last checkpoint was written."),
+		applied: app.Reg.Counter("watch_days_applied_total", "Days of zone deltas applied to the watch engine."),
+		alerts:  app.Reg.CounterVec("watch_alerts_total", "Alerts emitted, by class.", "type"),
+	}
+	w.lastCkpt.Store(time.Now().UnixNano())
+
+	if *alertsPath == "" || *alertsPath == "-" {
+		w.enc = json.NewEncoder(os.Stdout)
+	} else {
+		f, err := os.OpenFile(*alertsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			app.Fatal("opening alert sink", err)
+		}
+		defer f.Close()
+		w.enc = json.NewEncoder(f)
+	}
+
+	wh, err := loadWHOIS(*whoisPath, *archive)
+	if err != nil {
+		app.Fatal("loading WHOIS archive", err)
+	}
+	dir := sim.StandardDirectory()
+
+	if *ckptPath != "" {
+		if f, err := os.Open(*ckptPath); err == nil {
+			w.engine, err = watch.Restore(f, wh, dir)
+			f.Close()
+			if err != nil {
+				app.Fatal("restoring checkpoint", err)
+			}
+			app.Log.Info("checkpoint restored", "path", *ckptPath,
+				"last_day", w.engine.LastDay().String(), "alerts", int(w.engine.Seq()))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			app.Fatal("opening checkpoint", err)
+		}
+	}
+	if w.engine == nil {
+		w.engine = watch.New(wh, dir)
+	}
+
+	metricsSrv := app.ServeObservability(*metricsAddr)
+	ctx, stop := daemon.SignalContext()
+	defer stop()
+
+	// Age the checkpoint gauge in the background so /metrics moves even
+	// between applies.
+	ageDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ageDone:
+				return
+			case <-t.C:
+				w.ckptAge.Set(int64(time.Since(time.Unix(0, w.lastCkpt.Load())).Seconds()))
+			}
+		}
+	}()
+
+	if *archive != "" {
+		err = w.runArchive(ctx, *archive, *poll, *once)
+	} else {
+		err = w.runFeed(ctx, *feed, *page, *poll, *once)
+	}
+	close(ageDone)
+	switch {
+	case err == nil || errors.Is(err, context.Canceled):
+		app.Log.Info("shutting down", "last_day", w.engine.LastDay().String())
+	default:
+		app.Log.Error("watch loop failed", "err", err)
+		defer os.Exit(1)
+	}
+	if cerr := w.checkpoint(true); cerr != nil {
+		app.Log.Error("final checkpoint", "err", cerr)
+	}
+	daemon.Shutdown(metricsSrv, 5*time.Second)
+	app.Log.Info("stopped")
+}
+
+// loadWHOIS reads the registrar history: -whois when given, else the
+// archive's PREFIX.whois, else an empty history (original-nameserver
+// idioms cannot be attributed without one, so warn loudly later).
+func loadWHOIS(path, prefix string) (*whois.History, error) {
+	if path == "" && prefix != "" {
+		path = prefix + ".whois"
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			path = ""
+		}
+	}
+	if path == "" {
+		return whois.New(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return whois.ReadFrom(f)
+}
+
+type watcher struct {
+	app    *daemon.App
+	engine *watch.Engine
+	tracer *trace.Tracer
+
+	enc     *json.Encoder
+	webhook string
+	hc      *http.Client
+
+	ckptPath string
+	ckptIvl  time.Duration
+	lastCkpt atomic.Int64 // unix nanos of the last checkpoint write
+
+	lag     *obs.Gauge
+	ckptAge *obs.Gauge
+	applied *obs.Counter
+	alerts  *obs.CounterVec
+}
+
+// emit writes one alert to every sink.
+func (w *watcher) emit(a watch.Alert) {
+	w.alerts.With(a.Type).Inc()
+	if err := w.enc.Encode(a); err != nil {
+		w.app.Log.Error("writing alert", "err", err)
+	}
+	if w.webhook == "" {
+		return
+	}
+	body, _ := json.Marshal(a)
+	err := faults.Retry(context.Background(), faults.Policy{MaxAttempts: 3}, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.webhook, bytes.NewReader(body))
+		if err != nil {
+			return faults.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("webhook status %s", resp.Status)
+		}
+		return nil
+	})
+	if err != nil {
+		w.app.Log.Error("webhook delivery failed", "seq", int(a.Seq), "err", err)
+	}
+}
+
+// onApplied updates the per-day metrics and trace, and checkpoints when
+// the interval has elapsed. It runs on the apply goroutine.
+func (w *watcher) onApplied(ctx context.Context, day, closeDay dates.Day, alerts int) {
+	_, sp := w.tracer.Start(ctx, "watch.apply_day")
+	sp.SetAttr("day", day.String())
+	sp.SetAttrInt("alerts", alerts)
+	sp.End()
+	w.applied.Inc()
+	w.lag.Set(int64(closeDay - day))
+	if err := w.checkpoint(false); err != nil {
+		w.app.Log.Error("checkpoint", "err", err)
+	}
+}
+
+// checkpoint writes the engine state atomically (temp file + rename).
+// Unless forced it is a no-op before the interval has elapsed.
+func (w *watcher) checkpoint(force bool) error {
+	if w.ckptPath == "" {
+		return nil
+	}
+	last := time.Unix(0, w.lastCkpt.Load())
+	if !force && time.Since(last) < w.ckptIvl {
+		return nil
+	}
+	tmp := w.ckptPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := w.engine.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.ckptPath); err != nil {
+		return err
+	}
+	w.lastCkpt.Store(time.Now().UnixNano())
+	w.ckptAge.Set(0)
+	return nil
+}
+
+// runFeed follows a remote /v1/deltas feed through the fault-tolerant
+// client: retries absorb transient failures, the breaker stops
+// hammering a down server, and the follower protocol guarantees no
+// alert is lost or duplicated across either.
+func (w *watcher) runFeed(ctx context.Context, base string, page int, poll time.Duration, once bool) error {
+	breaker := &faults.Breaker{Name: "dzdb_feed"}
+	breaker.Instrument(w.app.Reg)
+	f := &watch.Follower{
+		Client: &dzdbapi.Client{
+			BaseURL: base,
+			Retry:   &faults.Policy{MaxAttempts: 5},
+			Breaker: breaker,
+			Tracer:  w.tracer,
+		},
+		Engine:    w.engine,
+		OnAlert:   w.emit,
+		OnApplied: func(day, closeDay dates.Day, n int) { w.onApplied(ctx, day, closeDay, n) },
+		PageSize:  page,
+		Poll:      poll,
+		Once:      once,
+		Log:       w.app.Log,
+	}
+	w.app.Log.Info("following feed", "url", base, "from", w.engine.LastDay().String())
+	return f.Run(ctx)
+}
+
+// runArchive replays PREFIX.dzdb through the engine, then tails the
+// file: when it is rewritten (riskybiz appending days and re-archiving)
+// the new epoch is loaded and only the days past the engine's position
+// are applied.
+func (w *watcher) runArchive(ctx context.Context, prefix string, poll time.Duration, once bool) error {
+	path := prefix + ".dzdb"
+	var lastMod time.Time
+	for {
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		if !st.ModTime().Equal(lastMod) {
+			lastMod = st.ModTime()
+			if err := w.replayArchive(ctx, path); err != nil {
+				return err
+			}
+		}
+		if once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (w *watcher) replayArchive(ctx context.Context, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	db, err := zonedb.ReadFrom(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	idx, err := delta.Build(db.View())
+	if err != nil {
+		return fmt.Errorf("building delta index: %w", err)
+	}
+	from := idx.First()
+	if last := w.engine.LastDay(); last != dates.None {
+		from = last + 1
+	}
+	if from > idx.Last() {
+		return nil // nothing new in this epoch
+	}
+	w.app.Log.Info("replaying archive", "path", path,
+		"from", from.String(), "to", idx.Last().String())
+	for d := from; d <= idx.Last(); d++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		alerts, err := w.engine.ApplyDay(idx.Day(d))
+		if err != nil {
+			return fmt.Errorf("applying %s: %w", d, err)
+		}
+		for _, a := range alerts {
+			w.emit(a)
+		}
+		w.onApplied(ctx, d, idx.Last(), len(alerts))
+	}
+	w.app.Log.Info("caught up", "last_day", w.engine.LastDay().String(),
+		"alerts", int(w.engine.Seq()))
+	return nil
+}

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	zonedump -zone biz -date 2016-07-15 [-scale 6] [-seed 1] [-grep dropthishost]
+//
+// With -diff, it instead prints what changed on DAY relative to the day
+// before — every delegation, registration, and glue record that
+// appeared or vanished — using the same per-day delta feed riskywatchd
+// consumes:
+//
+//	zonedump -diff 2016-07-15 [-grep 123.biz]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/zonedb"
+	"repro/internal/zonedb/delta"
 )
 
 func main() {
@@ -29,6 +37,7 @@ func main() {
 	scale := flag.Float64("scale", 6, "mean new registrations per day (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	grep := flag.String("grep", "", "only lines containing this substring")
+	diff := flag.String("diff", "", "print the change set for this day (YYYY-MM-DD) instead of a snapshot")
 	load := flag.String("load", "", "read a zone-database archive instead of simulating")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -68,6 +77,12 @@ func main() {
 		}
 		db = world.ZoneDB()
 	}
+	if *diff != "" {
+		if err := printDiff(db, *diff, *grep); err != nil {
+			log.Fatalf("zonedump: %v", err)
+		}
+		return
+	}
 	snap := db.SnapshotOn(z, day)
 	if *grep == "" {
 		if err := snap.Write(os.Stdout); err != nil {
@@ -86,4 +101,47 @@ func main() {
 			fmt.Fprintln(w, line)
 		}
 	}
+}
+
+// printDiff emits the day's change set, one event per line, in the
+// order the watch engine applies them: removals first, then additions.
+func printDiff(db *zonedb.DB, date, grep string) error {
+	day, err := dates.Parse(date)
+	if err != nil {
+		return err
+	}
+	idx, err := delta.Build(db.View())
+	if err != nil {
+		return err
+	}
+	dd := idx.Day(day)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "; delta for %s (history %s .. %s, %d changes)\n",
+		day, idx.First(), idx.Last(), dd.Changes())
+	emit := func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		if grep == "" || strings.Contains(line, grep) {
+			fmt.Fprintln(w, line)
+		}
+	}
+	for _, e := range dd.EdgesRemoved {
+		emit("-ns\t%s\t%s", e.Domain, e.NS)
+	}
+	for _, d := range dd.DomainsRemoved {
+		emit("-domain\t%s", d)
+	}
+	for _, g := range dd.GlueRemoved {
+		emit("-glue\t%s", g)
+	}
+	for _, e := range dd.EdgesAdded {
+		emit("+ns\t%s\t%s", e.Domain, e.NS)
+	}
+	for _, d := range dd.DomainsAdded {
+		emit("+domain\t%s", d)
+	}
+	for _, g := range dd.GlueAdded {
+		emit("+glue\t%s", g)
+	}
+	return nil
 }

@@ -1,0 +1,110 @@
+// Package daemon carries the boilerplate every long-running command in
+// this repository repeats: the -version flag, a named structured
+// logger, build-info registration, a signal-bound context, and the
+// /metrics + pprof observability endpoint. Keeping it in one place
+// means dzdbd, eppd, and riskywatchd cannot drift apart on process
+// hygiene.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// App is the shared per-process state.
+type App struct {
+	Name string
+	Log  *slog.Logger
+	Reg  *obs.Registry
+}
+
+// New builds the app: named logger on the default registry with build
+// info registered. If version is true (the -version flag), it prints
+// build information and exits — callers invoke it right after
+// flag.Parse and never see it return in that case.
+func New(name string, version bool) *App {
+	if version {
+		fmt.Println(obs.Version())
+		os.Exit(0)
+	}
+	a := &App{Name: name, Log: obs.NewLogger(name), Reg: obs.Default}
+	a.Reg.RegisterBuildInfo()
+	return a
+}
+
+// Fatal logs the error and exits non-zero.
+func (a *App) Fatal(msg string, err error) {
+	a.Log.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM. The
+// returned stop releases the signal handlers; calling it after the
+// first signal restores default delivery so a second signal kills the
+// process outright.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ObservabilityMux returns a mux serving GET /metrics from the app's
+// registry plus the pprof handlers under /debug/pprof/.
+func (a *App) ObservabilityMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", a.Reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer wraps handler in a server with the repository's standard
+// timeouts.
+func HTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeObservability starts the /metrics + pprof endpoint on addr in
+// the background and returns the server (nil when addr is empty, i.e.
+// the endpoint is disabled). Listen errors are logged, not fatal — a
+// daemon must not die because its metrics port is taken.
+func (a *App) ServeObservability(addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	srv := HTTPServer(addr, a.ObservabilityMux())
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.Log.Error("metrics listener", "err", err)
+		}
+	}()
+	a.Log.Info("metrics listening", "addr", addr)
+	return srv
+}
+
+// Shutdown gracefully stops an http.Server (nil is fine) within
+// timeout.
+func Shutdown(srv *http.Server, timeout time.Duration) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}

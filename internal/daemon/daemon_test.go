@@ -1,0 +1,57 @@
+package daemon
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObservabilityMux(t *testing.T) {
+	app := New("testd", false)
+	app.Reg.Counter("daemon_test_total", "test counter").Inc()
+	ts := httptest.NewServer(app.ObservabilityMux())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "daemon_test_total 1") {
+		t.Fatalf("metrics = %d\n%s", resp.StatusCode, body)
+	}
+	// Build info must be registered by New.
+	if !strings.Contains(string(body), "build_info") {
+		t.Errorf("metrics missing build_info:\n%s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline = %d", resp.StatusCode)
+	}
+}
+
+func TestShutdownNil(t *testing.T) {
+	Shutdown(nil, time.Second) // must not panic
+	srv := HTTPServer("127.0.0.1:0", http.NewServeMux())
+	if srv.ReadHeaderTimeout == 0 || srv.IdleTimeout == 0 {
+		t.Error("standard timeouts not applied")
+	}
+	Shutdown(srv, time.Second) // never started; Shutdown is still safe
+}
+
+func TestServeObservabilityDisabled(t *testing.T) {
+	app := New("testd", false)
+	if srv := app.ServeObservability(""); srv != nil {
+		t.Error("empty addr should disable the endpoint")
+	}
+}

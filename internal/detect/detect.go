@@ -527,7 +527,7 @@ func (d *Detector) matchOriginal(zd zoneData, ns dnsname.Name, first dates.Day) 
 			best = rr
 		}
 	}
-	idiom := originalIdiomFor(best, ns, originals[best])
+	idiom := OriginalIdiomFor(best, ns, originals[best])
 	if idiom == nil {
 		return nil, "", "", false
 	}
@@ -544,11 +544,12 @@ func endsOn(s *interval.Set, day dates.Day) bool {
 	return false
 }
 
-// originalIdiomFor maps an attributed registrar to its original-based
+// OriginalIdiomFor maps an attributed registrar to its original-based
 // renaming idiom, distinguishing Enom's 123.BIZ era from its random-name
 // era by shape. Unknown registrars yield nil: the methodology is
-// conservative and only classifies confirmed idioms (§3.3).
-func originalIdiomFor(registrarName string, ns, orig dnsname.Name) *idioms.Idiom {
+// conservative and only classifies confirmed idioms (§3.3). Exported so
+// the incremental watch engine attributes renames identically.
+func OriginalIdiomFor(registrarName string, ns, orig dnsname.Name) *idioms.Idiom {
 	switch registrarName {
 	case "Enom":
 		ssld, _ := dnsname.SecondLevelLabel(ns)

@@ -1,0 +1,185 @@
+package dzdbapi
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/zonedb"
+	"repro/internal/zonedb/delta"
+)
+
+// DeltaEdge is one delegation edge on the wire.
+type DeltaEdge struct {
+	Domain dnsname.Name `json:"domain"`
+	NS     dnsname.Name `json:"ns"`
+}
+
+// DayDeltaJSON is one day's change set on the wire. Day-less lists are
+// omitted, so quiet days serialize as just {"day":...,"changes":0} —
+// the feed includes every day of the window to make gap detection
+// trivial for consumers.
+type DayDeltaJSON struct {
+	Day            dates.Day      `json:"day"`
+	EdgesAdded     []DeltaEdge    `json:"edges_added,omitempty"`
+	EdgesRemoved   []DeltaEdge    `json:"edges_removed,omitempty"`
+	DomainsAdded   []dnsname.Name `json:"domains_added,omitempty"`
+	DomainsRemoved []dnsname.Name `json:"domains_removed,omitempty"`
+	GlueAdded      []dnsname.Name `json:"glue_added,omitempty"`
+	GlueRemoved    []dnsname.Name `json:"glue_removed,omitempty"`
+	Changes        int            `json:"changes"`
+}
+
+// Delta converts the wire form back to the delta package's type.
+func (d *DayDeltaJSON) Delta() *delta.DayDelta {
+	out := &delta.DayDelta{
+		Day:            d.Day,
+		DomainsAdded:   d.DomainsAdded,
+		DomainsRemoved: d.DomainsRemoved,
+		GlueAdded:      d.GlueAdded,
+		GlueRemoved:    d.GlueRemoved,
+	}
+	for _, e := range d.EdgesAdded {
+		out.EdgesAdded = append(out.EdgesAdded, zonedb.Edge{Domain: e.Domain, NS: e.NS})
+	}
+	for _, e := range d.EdgesRemoved {
+		out.EdgesRemoved = append(out.EdgesRemoved, zonedb.Edge{Domain: e.Domain, NS: e.NS})
+	}
+	return out
+}
+
+func dayDeltaJSON(d *delta.DayDelta) DayDeltaJSON {
+	out := DayDeltaJSON{
+		Day:            d.Day,
+		DomainsAdded:   d.DomainsAdded,
+		DomainsRemoved: d.DomainsRemoved,
+		GlueAdded:      d.GlueAdded,
+		GlueRemoved:    d.GlueRemoved,
+		Changes:        d.Changes(),
+	}
+	for _, e := range d.EdgesAdded {
+		out.EdgesAdded = append(out.EdgesAdded, DeltaEdge{Domain: e.Domain, NS: e.NS})
+	}
+	for _, e := range d.EdgesRemoved {
+		out.EdgesRemoved = append(out.EdgesRemoved, DeltaEdge{Domain: e.Domain, NS: e.NS})
+	}
+	return out
+}
+
+// DeltasResponse is one page of the /v1/deltas feed. Deltas covers a
+// contiguous day window within [FirstDay, CloseDay]; NextCursor resumes
+// after the last day of the page and is empty once the page reaches
+// CloseDay. Epoch identifies the sealed generation the page was derived
+// from, so a consumer can detect that the server adopted a new archive
+// mid-walk.
+type DeltasResponse struct {
+	Epoch      uint64         `json:"epoch"`
+	FirstDay   dates.Day      `json:"first_day"`
+	CloseDay   dates.Day      `json:"close_day"`
+	Deltas     []DayDeltaJSON `json:"deltas"`
+	NextCursor string         `json:"next_cursor,omitempty"`
+}
+
+// deltaCache memoizes the delta index per published epoch. Building the
+// index is O(total spans) — fine once, wasteful per request.
+type deltaCache struct {
+	mu    sync.Mutex
+	epoch uint64
+	idx   *delta.Index
+}
+
+func (c *deltaCache) get(v *zonedb.View) (*delta.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idx != nil && c.epoch == v.Epoch() {
+		return c.idx, nil
+	}
+	idx, err := delta.Build(v)
+	if err != nil {
+		return nil, err
+	}
+	c.epoch, c.idx = v.Epoch(), idx
+	return idx, nil
+}
+
+// handleDeltas serves the per-day change feed. Unlike the other routes
+// it cannot fall back to an unclosed DB: without a close day there is no
+// boundary between "removed" and "not yet sealed", so the route answers
+// not_found until the database is sealed.
+//
+// Parameters: ?from=YYYY-MM-DD starts the window (clamped to the first
+// changed day); ?cursor= resumes a paginated walk; ?limit= caps the
+// number of days per page (0 = the whole remaining window).
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	v := s.db.View()
+	if !v.Closed() {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"delta feed requires a sealed database (no Close recorded)")
+		return
+	}
+	idx, err := s.deltas.get(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "building delta index: %v", err)
+		return
+	}
+	resp := DeltasResponse{Epoch: idx.Epoch(), FirstDay: idx.First(), CloseDay: idx.Last()}
+	from := idx.First()
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		d, err := dates.Parse(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidDate, "invalid from %q (want YYYY-MM-DD)", raw)
+			return
+		}
+		if d > from {
+			from = d
+		}
+	}
+	if from == dates.None || from > idx.Last() {
+		// Nothing (or nothing yet) in the window: an empty final page.
+		resp.Deltas = []DayDeltaJSON{}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	n := int(idx.Last()-from) + 1
+	start, end, next, ok := pageWindow(w, r, n, func(i int) string { return (from + dates.Day(i)).String() })
+	if !ok {
+		return
+	}
+	resp.Deltas = make([]DayDeltaJSON, 0, end-start)
+	for i := start; i < end; i++ {
+		resp.Deltas = append(resp.Deltas, dayDeltaJSON(idx.Day(from+dates.Day(i))))
+	}
+	resp.NextCursor = next
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Deltas fetches one page of the per-day change feed. from bounds the
+// window start (dates.None starts at the first changed day); cursor ""
+// starts the walk, limit 0 fetches the whole remaining window in one
+// page. The returned NextCursor resumes the walk and is empty on the
+// final page.
+func (c *Client) Deltas(ctx context.Context, from dates.Day, cursor string, limit int) (*DeltasResponse, error) {
+	q := url.Values{}
+	if from != dates.None {
+		q.Set("from", from.String())
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/deltas"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out DeltasResponse
+	if err := c.getJSON(ctx, "deltas", path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

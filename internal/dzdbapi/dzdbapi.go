@@ -11,6 +11,7 @@
 //	GET /v1/nameservers/{name}?cursor=&limit=
 //	                                   first-seen + delegated domains (paginated)
 //	GET /v1/zones/{zone}/snapshot?date=YYYY-MM-DD   master-file snapshot
+//	GET /v1/deltas?from=&cursor=&limit=             per-day change feed (paginated)
 //
 // The unversioned legacy routes remain mounted as thin aliases for one
 // release; they answer identically (modulo the /v1/zones envelope) and
@@ -153,6 +154,7 @@ type Server struct {
 	obs      *obs.Registry
 	requests *obs.CounterVec   // MetricRequests{route,class}
 	latency  *obs.HistogramVec // MetricRequestSeconds{route}
+	deltas   deltaCache        // per-epoch delta index for /v1/deltas
 
 	// Log, when non-nil, receives one structured record per request,
 	// carrying the request's trace ID when the client sent a
@@ -185,6 +187,7 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 	s.handle("GET /v1/domains/{name}", "/v1/domains/{name}", s.handleDomain)
 	s.handle("GET /v1/nameservers/{name}", "/v1/nameservers/{name}", s.handleNameserver)
 	s.handle("GET /v1/zones/{zone}/snapshot", "/v1/zones/{zone}/snapshot", s.handleSnapshot)
+	s.handle("GET /v1/deltas", "/v1/deltas", s.handleDeltas)
 
 	// Legacy unversioned aliases, kept for one release. They keep their
 	// own route labels so deprecated traffic stays visible in metrics.

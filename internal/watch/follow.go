@@ -1,0 +1,147 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/dzdbapi"
+	"repro/internal/zonedb/delta"
+)
+
+// Follower tails a remote dzdbapi /v1/deltas feed into an Engine. It
+// never loses or duplicates an alert regardless of transport faults:
+// every catch-up pass asks the server for days strictly after the
+// engine's last applied day, and the engine itself refuses replays
+// (ErrStale), so a request that died mid-page, a retried response, or a
+// restart from a checkpoint all converge on the same alert stream.
+type Follower struct {
+	Client *dzdbapi.Client
+	Engine *Engine
+
+	// OnAlert receives every alert in emission order.
+	OnAlert func(Alert)
+	// OnApplied, when set, runs after each applied day with the feed's
+	// close day — the daemon hooks metrics (feed lag) and checkpointing
+	// here.
+	OnApplied func(day, closeDay dates.Day, alerts int)
+
+	// PageSize is the number of days requested per page (default 365).
+	PageSize int
+	// Poll is the delay between catch-up passes once the feed is
+	// exhausted (default 2s).
+	Poll time.Duration
+	// Once stops after the first pass that reaches the feed's close day
+	// instead of polling forever.
+	Once bool
+
+	Log *slog.Logger
+}
+
+func (f *Follower) pageSize() int {
+	if f.PageSize > 0 {
+		return f.PageSize
+	}
+	return 365
+}
+
+func (f *Follower) poll() time.Duration {
+	if f.Poll > 0 {
+		return f.Poll
+	}
+	return 2 * time.Second
+}
+
+// Run follows the feed until ctx is done (or, with Once, until caught
+// up). Transport errors that survive the client's own retry policy are
+// logged and retried at the poll cadence; in Once mode they abort.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		caughtUp, err := f.sync(ctx)
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			return err
+		case err != nil && f.Once:
+			return err
+		case err != nil:
+			if f.Log != nil {
+				f.Log.Warn("delta feed pass failed; will retry", "err", err)
+			}
+		case caughtUp && f.Once:
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.poll()):
+		}
+	}
+}
+
+// sync performs one catch-up pass: request days after the engine's last
+// applied day and walk the cursor chain until the page window is
+// exhausted. It reports whether the engine reached the feed's close
+// day.
+func (f *Follower) sync(ctx context.Context) (bool, error) {
+	from := dates.None
+	if last := f.Engine.LastDay(); last != dates.None {
+		from = last + 1
+	}
+	cursor := ""
+	epoch := uint64(0)
+	for {
+		resp, err := f.Client.Deltas(ctx, from, cursor, f.pageSize())
+		if err != nil {
+			return false, err
+		}
+		if cursor != "" && resp.Epoch != epoch {
+			// The server adopted a new archive mid-walk; the cursor
+			// belongs to the old index. Restart from the engine's
+			// position — nothing applied so far is lost.
+			if f.Log != nil {
+				f.Log.Info("feed epoch changed mid-walk; restarting pass",
+					"old", epoch, "new", resp.Epoch)
+			}
+			return false, nil
+		}
+		epoch = resp.Epoch
+		if resp.FirstDay == dates.None {
+			return true, nil // sealed but empty database
+		}
+		for i := range resp.Deltas {
+			dd := resp.Deltas[i].Delta()
+			if err := f.apply(dd, resp.CloseDay); err != nil {
+				return false, err
+			}
+		}
+		if resp.NextCursor == "" {
+			return f.Engine.LastDay() >= resp.CloseDay, nil
+		}
+		cursor = resp.NextCursor
+	}
+}
+
+func (f *Follower) apply(dd *delta.DayDelta, closeDay dates.Day) error {
+	if last := f.Engine.LastDay(); last != dates.None && dd.Day <= last {
+		return nil // overlap from a retried or rewound page; already applied
+	}
+	alerts, err := f.Engine.ApplyDay(dd)
+	if err != nil {
+		if errors.Is(err, ErrStale) {
+			return nil
+		}
+		return fmt.Errorf("applying %s: %w", dd.Day, err)
+	}
+	if f.OnAlert != nil {
+		for _, a := range alerts {
+			f.OnAlert(a)
+		}
+	}
+	if f.OnApplied != nil {
+		f.OnApplied(dd.Day, closeDay, len(alerts))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dzdbapi"
+	"repro/internal/faults"
+)
+
+// flaky wraps a handler, failing every third request with a 503 — the
+// client's retry policy must absorb them without the follower losing or
+// duplicating a single alert.
+func flaky(next http.Handler, failures *atomic.Int64) http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			failures.Add(1)
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// TestFollowerFaultInjection is the daemon acceptance criterion at the
+// library layer: a follower tailing a feed that keeps throwing transient
+// faults produces the exact alert stream of a direct in-process replay.
+func TestFollowerFaultInjection(t *testing.T) {
+	w, _, idx := buildWorld(t, 1, 1)
+
+	direct := New(w.WHOIS(), w.Directory())
+	want := replay(t, direct, idx, idx.First(), idx.Last())
+
+	var failures atomic.Int64
+	ts := httptest.NewServer(flaky(dzdbapi.New(w.ZoneDB()), &failures))
+	t.Cleanup(ts.Close)
+
+	e := New(w.WHOIS(), w.Directory())
+	var got []Alert
+	f := &Follower{
+		Client: &dzdbapi.Client{
+			BaseURL: ts.URL,
+			Retry:   &faults.Policy{MaxAttempts: 6, BaseDelay: -1},
+		},
+		Engine:   e,
+		OnAlert:  func(a Alert) { got = append(got, a) },
+		PageSize: 200, // force many pages so faults land mid-walk
+		Once:     true,
+	}
+	if err := f.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if failures.Load() == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	if e.LastDay() != idx.Last() {
+		t.Fatalf("follower stopped at %s, feed closes %s", e.LastDay(), idx.Last())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("alert streams diverge: followed %d alerts, direct %d", len(got), len(want))
+	}
+	diffResults(t, direct.Result(), e.Result())
+}
+
+// TestFollowerResume kills a follower mid-stream (context cancel) and
+// resumes with a fresh one over the same engine: the combined alert
+// stream must equal an uninterrupted run — no loss, no duplicates.
+func TestFollowerResume(t *testing.T) {
+	w, _, idx := buildWorld(t, 1, 2)
+
+	direct := New(w.WHOIS(), w.Directory())
+	want := replay(t, direct, idx, idx.First(), idx.Last())
+
+	ts := httptest.NewServer(dzdbapi.New(w.ZoneDB()))
+	t.Cleanup(ts.Close)
+	client := &dzdbapi.Client{BaseURL: ts.URL}
+
+	e := New(w.WHOIS(), w.Directory())
+	var got []Alert
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	applied := 0
+	first := &Follower{
+		Client:   client,
+		Engine:   e,
+		OnAlert:  func(a Alert) { got = append(got, a) },
+		PageSize: 100,
+		OnApplied: func(_, _ dates.Day, _ int) {
+			if applied++; applied == 500 {
+				cancel() // die mid-history
+			}
+		},
+		Once: true,
+	}
+	if err := first.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Run = %v, want context.Canceled", err)
+	}
+	if e.LastDay() >= idx.Last() {
+		t.Fatal("follower was not actually interrupted mid-history")
+	}
+
+	second := &Follower{Client: client, Engine: e,
+		OnAlert: func(a Alert) { got = append(got, a) },
+		Once:    true,
+	}
+	if err := second.Run(context.Background()); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if e.LastDay() != idx.Last() {
+		t.Fatalf("resume stopped at %s, feed closes %s", e.LastDay(), idx.Last())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combined stream diverges: got %d alerts, want %d", len(got), len(want))
+	}
+	diffResults(t, direct.Result(), e.Result())
+}

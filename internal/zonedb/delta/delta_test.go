@@ -1,0 +1,192 @@
+package delta
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/sim"
+	"repro/internal/zonedb"
+)
+
+var (
+	com = dnsname.MustParse("com")
+	biz = dnsname.MustParse("biz")
+)
+
+func day(s string) dates.Day {
+	d, err := dates.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestBuildHandCrafted pins the event placement rules on a tiny
+// hand-built database: adds on a span's first day, removes the day
+// after its last day, and no remove for spans running into the close
+// day.
+func TestBuildHandCrafted(t *testing.T) {
+	db := zonedb.New()
+	ex := dnsname.MustParse("example.com")
+	ns1 := dnsname.MustParse("ns1.example.com")
+	orphan := dnsname.MustParse("old.example.biz")
+
+	// example.com delegates to ns1 over two separate spans; the second
+	// runs into the close day.
+	db.DomainAdded(com, ex, day("2020-01-01"))
+	db.DelegationAdded(com, ex, ns1, day("2020-01-01"))
+	db.GlueAdded(com, ns1, day("2020-01-01"))
+	db.DelegationRemoved(com, ex, ns1, day("2020-01-10"))
+	db.DelegationAdded(com, ex, ns1, day("2020-02-01"))
+	// A biz-zone name whose zone is sealed early: its open span must be
+	// cut at the biz zone's own last day, with the removal visible in
+	// the delta because it lands before the overall close day.
+	db.DelegationAdded(biz, dnsname.MustParse("shop.biz"), orphan, day("2020-01-05"))
+	db.CloseZones(map[dnsname.Name]dates.Day{
+		com: day("2020-03-01"),
+		biz: day("2020-01-20"),
+	})
+
+	v := db.View()
+	idx, err := Build(v)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if idx.Epoch() != v.Epoch() {
+		t.Errorf("epoch %d, view %d", idx.Epoch(), v.Epoch())
+	}
+	if got, want := idx.First(), day("2020-01-01"); got != want {
+		t.Errorf("First = %s, want %s", got, want)
+	}
+	if got, want := idx.Last(), day("2020-03-01"); got != want {
+		t.Errorf("Last = %s, want %s", got, want)
+	}
+
+	d1 := idx.Day(day("2020-01-01"))
+	if len(d1.EdgesAdded) != 1 || len(d1.DomainsAdded) != 1 || len(d1.GlueAdded) != 1 {
+		t.Errorf("2020-01-01: %+v", d1)
+	}
+	// Delegation removed on Jan 10: last present day is Jan 9, so the
+	// remove event lands on the 10th.
+	if d := idx.Day(day("2020-01-10")); len(d.EdgesRemoved) != 1 || d.EdgesRemoved[0].NS != ns1 {
+		t.Errorf("2020-01-10: want ns1 edge removal, got %+v", d)
+	}
+	if d := idx.Day(day("2020-02-01")); len(d.EdgesAdded) != 1 {
+		t.Errorf("2020-02-01: want re-add, got %+v", d)
+	}
+	// The early-sealed biz zone cuts the orphan edge at Jan 20; the
+	// remove must surface on Jan 21 even though com runs on.
+	if d := idx.Day(day("2020-01-21")); len(d.EdgesRemoved) != 1 || d.EdgesRemoved[0].NS != orphan {
+		t.Errorf("2020-01-21: want early-sealed removal, got %+v", d)
+	}
+	// Facts running into the close day never emit removals: the feed
+	// cannot distinguish "gone" from "not yet observed".
+	quiet := idx.Day(day("2020-03-01"))
+	if !quiet.Empty() {
+		t.Errorf("close day should be quiet, got %+v", quiet)
+	}
+	if d := idx.Day(day("2020-03-02")); !d.Empty() {
+		t.Errorf("beyond close day should be empty, got %+v", d)
+	}
+
+	// An unclosed DB has no delta feed.
+	if _, err := Build(zonedb.New().View()); err == nil {
+		t.Error("Build on unclosed view: want error")
+	}
+}
+
+// TestCumulativeReconstruction replays a simulated world's deltas into
+// running active sets and checks them against the view's own per-day
+// queries on sampled days — the delta feed and the interval store must
+// describe the same history.
+func TestCumulativeReconstruction(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.Seed = 7
+	w, err := sim.NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	v := w.ZoneDB().View()
+	idx, err := Build(v)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	edges := make(map[zonedb.Edge]bool)
+	doms := make(map[dnsname.Name]bool)
+	glue := make(map[dnsname.Name]bool)
+	changes := 0
+	check := func(today dates.Day) {
+		for e := range edges {
+			if !v.EdgeSpans(e.Domain, e.NS).Contains(today) {
+				t.Fatalf("%s: edge %v active in replay but not in view", today, e)
+			}
+		}
+		for d := range doms {
+			if !v.DomainRegisteredOn(d, today) {
+				t.Fatalf("%s: domain %s active in replay but not in view", today, d)
+			}
+		}
+		for g := range glue {
+			if !v.GlueSpans(g).Contains(today) {
+				t.Fatalf("%s: glue %s active in replay but not in view", today, g)
+			}
+		}
+	}
+	for today := idx.First(); today <= idx.Last(); today++ {
+		d := idx.Day(today)
+		for _, e := range d.EdgesRemoved {
+			if !edges[e] {
+				t.Fatalf("%s: removal of inactive edge %v", today, e)
+			}
+			delete(edges, e)
+		}
+		for _, e := range d.EdgesAdded {
+			if edges[e] {
+				t.Fatalf("%s: duplicate add of edge %v", today, e)
+			}
+			edges[e] = true
+		}
+		for _, n := range d.DomainsRemoved {
+			delete(doms, n)
+		}
+		for _, n := range d.DomainsAdded {
+			doms[n] = true
+		}
+		for _, g := range d.GlueRemoved {
+			delete(glue, g)
+		}
+		for _, g := range d.GlueAdded {
+			glue[g] = true
+		}
+		changes += d.Changes()
+		if today%97 == 0 { // sample roughly every three months
+			check(today)
+		}
+	}
+	check(idx.Last())
+	if changes == 0 {
+		t.Fatal("no changes in simulated history")
+	}
+	// Total span-days must match exactly: every domain's registration
+	// days reconstructed from the feed equal the interval store's count.
+	totalView := 0
+	v.Domains(func(dom dnsname.Name) bool {
+		totalView += v.DomainSpans(dom).TotalDays()
+		return true
+	})
+	active := 0
+	integral := 0
+	for today := idx.First(); today <= idx.Last(); today++ {
+		d := idx.Day(today)
+		active += len(d.DomainsAdded) - len(d.DomainsRemoved)
+		integral += active
+	}
+	if integral != totalView {
+		t.Errorf("domain-days: feed integral %d, view %d", integral, totalView)
+	}
+}

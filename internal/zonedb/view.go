@@ -171,6 +171,42 @@ func (t *tables) NSOn(domain dnsname.Name, day dates.Day) []dnsname.Name {
 	return out
 }
 
+// EachEdgeSpans calls fn for every delegation edge ever observed,
+// with its sealed presence intervals, in unspecified order, stopping if
+// fn returns false. Facts still open (never sealed by Close/CloseZones)
+// appear with whatever intervals their past add/remove cycles recorded,
+// which may be empty. The delta layer walks this to bucket interval
+// boundaries by day.
+func (t *tables) EachEdgeSpans(fn func(e Edge, spans *interval.Set) bool) {
+	for e, s := range t.edges {
+		if !fn(e, s) {
+			return
+		}
+	}
+}
+
+// EachDomainSpans calls fn for every domain ever observed registered,
+// with its sealed registration intervals, in unspecified order, stopping
+// if fn returns false.
+func (t *tables) EachDomainSpans(fn func(domain dnsname.Name, spans *interval.Set) bool) {
+	for d, s := range t.domains {
+		if !fn(d, s) {
+			return
+		}
+	}
+}
+
+// EachGlueSpans calls fn for every host ever observed with glue, with
+// its sealed glue-presence intervals, in unspecified order, stopping if
+// fn returns false.
+func (t *tables) EachGlueSpans(fn func(host dnsname.Name, spans *interval.Set) bool) {
+	for h, s := range t.glue {
+		if !fn(h, s) {
+			return
+		}
+	}
+}
+
 // Nameservers calls fn for every nameserver name ever observed in a
 // delegation, in unspecified order, stopping if fn returns false.
 func (t *tables) Nameservers(fn func(ns dnsname.Name) bool) {
