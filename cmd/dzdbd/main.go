@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dzdbd [-addr :8053] [-scale 6] [-seed 1] [-detect]
+//	dzdbd [-addr :8053] [-scale 6] [-seed 1] [-detect] [-drain 2s]
 //	dzdbd [-addr :8053] -load dataset.dzdb
 //
 // Then:
@@ -16,22 +16,30 @@
 //	curl 'http://localhost:8053/v1/nameservers/ns2.internetemc.com?limit=100'
 //	curl 'http://localhost:8053/v1/zones/com/snapshot?date=2016-07-15'
 //	curl http://localhost:8053/metrics            # Prometheus exposition
+//	curl http://localhost:8053/healthz            # liveness probe
+//	curl http://localhost:8053/readyz             # readiness probe
+//	curl http://localhost:8053/statusz            # human-readable status
 //	go tool pprof http://localhost:8053/debug/pprof/profile
 //
 // The pre-/v1/ routes still answer, marked with a Deprecation header.
 //
+// The listener comes up immediately: probes and /statusz answer while
+// the archive loads (or the world simulates) in the background, with
+// /readyz reporting 503 until the store is populated and a sealed epoch
+// is adoptable. On SIGTERM readiness flips to 503 first, the process
+// waits -drain for load balancers to notice, then the listener drains.
+//
 // With -load, SIGHUP re-reads the archive and atomically swaps it in:
 // requests in flight keep the snapshot they started on, new requests see
 // the new epoch, and reads never block behind the reload.
-//
-// The process shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +49,8 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/detect"
 	"repro/internal/dzdbapi"
+	"repro/internal/obs/health"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/whois"
 	"repro/internal/zonedb"
@@ -52,57 +62,86 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	load := flag.String("load", "", "load a zone-database archive instead of simulating")
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
+	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	app := daemon.New("dzdbd", *version)
+	defer app.Close()
 	logger, fatal, reg := app.Log, app.Fatal, app.Reg
 	detect.RegisterMetrics(reg)
 
-	var db *zonedb.DB
-	who := whois.New()
-	if *load != "" {
-		var err error
-		db, err = loadArchive(*load)
-		if err != nil {
-			fatal("loading archive", err)
+	// The DB starts empty and adopts the real data once built, so the
+	// listener (and the probe endpoints on it) can come up immediately.
+	db := zonedb.New()
+	storeCheck := app.Health.Register("store", health.Readiness, 0)
+	storeCheck.Fail("loading")
+	app.Health.RegisterFunc("epoch", health.Readiness, func() error {
+		if !db.View().Closed() {
+			return errors.New("no sealed epoch published yet")
 		}
-		logger.Info("archive loaded", "path", *load,
-			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
-	} else {
-		cfg := sim.DefaultConfig(*scale)
-		cfg.Seed = *seed
-		world, err := sim.NewWorld(cfg)
-		if err != nil {
-			fatal("building world", err)
-		}
-		logger.Info("simulating", "start", cfg.Start.String(), "end", cfg.End.String(), "scale", *scale)
-		if err := world.Run(); err != nil {
-			fatal("simulating", err)
-		}
-		db = world.ZoneDB()
-		who = world.WHOIS()
-		logger.Info("simulation complete",
-			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
-	}
-
-	if *runDetect {
-		det := detect.NewDetector(db, who, sim.StandardDirectory(),
-			detect.WithConfig(detect.Config{SkipMining: true}),
-			detect.WithObs(reg))
-		res := det.RunContext(context.Background())
-		logger.Info("detection pipeline primed",
-			"sacrificial", res.Funnel.Sacrificial,
-			"wall", res.Stats.Wall.Round(time.Millisecond).String())
-	}
+		return nil
+	})
 
 	api := dzdbapi.NewWithRegistry(db, reg)
 	api.Log = logger
 	mux := app.ObservabilityMux()
 	mux.Handle("/", api)
 
+	// Serving SLO: 99% of v1 requests under 250ms, tracked over 5m/1h
+	// burn windows across every versioned route's latency histogram.
+	app.TrackSLO(
+		slo.Objective{Name: "v1_latency", Target: 0.99, Threshold: 0.25},
+		nil, api.LatencyHistograms(dzdbapi.V1Routes()...)...)
+
+	app.StatusSection("store", func() []daemon.KV {
+		v := db.View()
+		rows := []daemon.KV{
+			{K: "epoch", V: fmt.Sprintf("%d", v.Epoch())},
+			{K: "sealed", V: fmt.Sprintf("%v", v.Closed())},
+			{K: "zones", V: fmt.Sprintf("%d", len(v.Zones()))},
+			{K: "domains", V: fmt.Sprintf("%d", v.NumDomains())},
+			{K: "nameservers", V: fmt.Sprintf("%d", v.NumNameservers())},
+		}
+		if v.Closed() {
+			rows = append(rows, daemon.KV{K: "close_day", V: v.CloseDay().String()})
+		}
+		if *load != "" {
+			rows = append(rows, daemon.KV{K: "archive", V: *load})
+		}
+		return rows
+	})
+
 	srv := daemon.HTTPServer(*addr, mux)
 	ctx, stop := daemon.SignalContext()
 	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr, "ready", false)
+
+	// Build or load the database behind the live listener; readiness
+	// holds at 503 until the swap lands.
+	go func() {
+		fresh, who, err := buildDB(logger, *load, *scale, *seed)
+		if err != nil {
+			storeCheck.Fail(err.Error())
+			fatal("building database", err)
+		}
+		db.Adopt(fresh)
+		storeCheck.OK()
+		logger.Info("store ready",
+			"domains", db.NumDomains(), "nameservers", db.NumNameservers(),
+			"epoch", int(db.View().Epoch()))
+		if *runDetect {
+			det := detect.NewDetector(db, who, sim.StandardDirectory(),
+				detect.WithConfig(detect.Config{SkipMining: true}),
+				detect.WithObs(reg))
+			res := det.RunContext(context.Background())
+			logger.Info("detection pipeline primed",
+				"sacrificial", res.Funnel.Sacrificial,
+				"wall", res.Stats.Wall.Round(time.Millisecond).String())
+		}
+	}()
 
 	// SIGHUP re-reads the archive (when serving one) and Adopts it: one
 	// atomic epoch flip, so reads racing the reload stay on the snapshot
@@ -127,16 +166,14 @@ func main() {
 		}
 	}()
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("serving", "addr", *addr)
-
 	select {
 	case err := <-errc:
 		fatal("serving", err)
 	case <-ctx.Done():
 		stop()
-		logger.Info("shutting down", "reason", "signal")
+		// Readiness first, then the drain window, then the listener: a
+		// probe racing shutdown sees 503 while in-flight requests finish.
+		app.BeginShutdown(*drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -144,6 +181,33 @@ func main() {
 		}
 		logger.Info("stopped")
 	}
+}
+
+// buildDB produces the database to serve: an archive read from disk, or
+// a freshly simulated world.
+func buildDB(logger *slog.Logger, load string, scale float64, seed int64) (*zonedb.DB, *whois.History, error) {
+	if load != "" {
+		db, err := loadArchive(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		logger.Info("archive loaded", "path", load,
+			"domains", db.NumDomains(), "nameservers", db.NumNameservers())
+		return db, whois.New(), nil
+	}
+	cfg := sim.DefaultConfig(scale)
+	cfg.Seed = seed
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("simulating", "start", cfg.Start.String(), "end", cfg.End.String(), "scale", scale)
+	if err := world.Run(); err != nil {
+		return nil, nil, err
+	}
+	logger.Info("simulation complete",
+		"domains", world.ZoneDB().NumDomains(), "nameservers", world.ZoneDB().NumNameservers())
+	return world.ZoneDB(), world.WHOIS(), nil
 }
 
 // loadArchive reads a zone-database archive written by riskybiz -save-data.

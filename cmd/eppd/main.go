@@ -6,16 +6,20 @@
 // Usage:
 //
 //	eppd [-addr :7700] [-registry Verisign] [-tlds com,net,edu,gov] [-date 2020-09-15]
-//	     [-metrics :7701]
+//	     [-metrics :7701] [-drain 1s]
 //
-// With -metrics set, per-command counters, session gauges, and pprof
-// profiles are served over HTTP (GET /metrics, /debug/pprof/*). The
-// process shuts down gracefully on SIGINT/SIGTERM.
+// With -metrics set, per-command counters, session gauges, runtime
+// gauges, pprof profiles, and the probe endpoints are served over HTTP
+// (GET /metrics, /healthz, /readyz, /statusz, /debug/pprof/*).
+// Readiness reflects the EPP listener accepting connections; on
+// SIGINT/SIGTERM it flips to 503, the drain window elapses, and only
+// then does the listener close.
 package main
 
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"net"
 	"strings"
 	"time"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/dnsname"
 	"repro/internal/eppserver"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
 	"repro/internal/obs/trace"
 	"repro/internal/registry"
 )
@@ -35,9 +40,11 @@ func main() {
 	tlds := flag.String("tlds", "com,net,edu,gov", "comma-separated TLDs in the repository")
 	date := flag.String("date", "2020-09-15", "server clock date (YYYY-MM-DD)")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
+	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	app := daemon.New("eppd", *version)
+	defer app.Close()
 	logger, fatal := app.Log, app.Fatal
 
 	day, err := dates.Parse(*date)
@@ -61,12 +68,25 @@ func main() {
 	// the caller's trace_id.
 	srv.Tracer = trace.New()
 
+	// Readiness is "the EPP listener is accepting": pending (503) until
+	// Listen succeeds below.
+	listening := app.Health.Register("listener", health.Readiness, 0)
+	app.StatusSection("epp", func() []daemon.KV {
+		return []daemon.KV{
+			{K: "registry", V: *name},
+			{K: "tlds", V: *tlds},
+			{K: "clock", V: day.String()},
+			{K: "addr", V: *addr},
+		}
+	})
 	metricsSrv := app.ServeObservability(*metricsAddr)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		listening.Fail(fmt.Sprintf("listen: %v", err))
 		fatal("listen", err)
 	}
+	listening.OK()
 	logger.Info("serving EPP",
 		"registry", *name, "tlds", *tlds, "addr", ln.Addr().String(), "clock", day.String())
 
@@ -83,6 +103,8 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		logger.Info("shutting down", "reason", "signal")
+		app.BeginShutdown(*drain)
+		listening.Fail("listener closing")
 		if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			logger.Error("close", "err", err)
 		}

@@ -22,15 +22,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dates"
 	"repro/internal/detect"
 	"repro/internal/dnsname"
 	"repro/internal/dnszone"
+	"repro/internal/dzdbapi"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
@@ -55,16 +61,26 @@ type workloadResult struct {
 	ItemsPerSec float64 `json:"items_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// P50Ns/P95Ns/P99Ns are per-item latency percentiles, recorded only
+	// by serving workloads (serve-load) where the distribution matters,
+	// not just the mean.
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	P95Ns int64 `json:"p95_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
 }
 
 // report is the BENCH_pipeline.json schema.
 type report struct {
-	Build     string           `json:"build"`
-	GoVersion string           `json:"go_version"`
-	Scale     float64          `json:"scale"`
-	Seed      int64            `json:"seed"`
-	Runs      int              `json:"runs"`
-	Workloads []workloadResult `json:"workloads"`
+	Build     string  `json:"build"`
+	GoVersion string  `json:"go_version"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	Runs      int     `json:"runs"`
+	// Timestamp (RFC3339) and GOMAXPROCS stamp the run so trajectory
+	// entries are comparable across machines and orderable across runs.
+	Timestamp  string           `json:"timestamp"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Workloads  []workloadResult `json:"workloads"`
 	// Stages are per-span-name rollups of the trace journal recorded
 	// across all benchmark runs (detect.extract, detect.mine, ...).
 	Stages []trace.Rollup `json:"stages"`
@@ -245,16 +261,23 @@ func main() {
 		return 1
 	}))
 
+	// The serving path: concurrent clients hammering the /v1 API and the
+	// delta feed of an in-process server, so BENCH_pipeline.json tracks
+	// serving p50/p95/p99, not just batch throughput.
+	workloads = append(workloads, serveLoad(ctx, db, *runs))
+
 	root.End()
 
 	rep := report{
-		Build:     obs.Version(),
-		GoVersion: runtime.Version(),
-		Scale:     *scale,
-		Seed:      *seed,
-		Runs:      *runs,
-		Workloads: workloads,
-		Stages:    tracer.Rollups(),
+		Build:      obs.Version(),
+		GoVersion:  runtime.Version(),
+		Scale:      *scale,
+		Seed:       *seed,
+		Runs:       *runs,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workloads:  workloads,
+		Stages:     tracer.Rollups(),
 	}
 	if err := writeReport(rep, *out); err != nil {
 		fatalf("writing %s: %v", *out, err)
@@ -311,6 +334,107 @@ func checkBaseline(rep report, path string) error {
 			100*(maxRegression-1), strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// serveClients and serveRequestsPerClient size the serve-load workload:
+// enough concurrency to contend, enough requests for stable tails.
+const (
+	serveClients           = 8
+	serveRequestsPerClient = 250
+)
+
+// serveLoad benchmarks the serving path: an in-process dzdbapi server
+// (the same handler dzdbd mounts) hammered by concurrent clients
+// rotating through the /v1 query endpoints and the delta feed. Items
+// are requests; P50/P95/P99 are per-request latencies pooled across
+// runs — the serving numbers the SLO layer tracks in production.
+func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
+	srv := httptest.NewServer(dzdbapi.New(db))
+	defer srv.Close()
+
+	// A bounded sample of names to query, deterministic given the seed.
+	var domains, nss []string
+	db.Domains(func(d dnsname.Name) bool {
+		domains = append(domains, string(d))
+		return len(domains) < 64
+	})
+	db.Nameservers(func(ns dnsname.Name) bool {
+		nss = append(nss, string(ns))
+		return len(nss) < 64
+	})
+	sort.Strings(domains)
+	sort.Strings(nss)
+
+	paths := []string{"/v1/stats", "/v1/zones?limit=10", "/v1/deltas?limit=30"}
+	for _, d := range domains {
+		paths = append(paths, "/v1/domains/"+d)
+	}
+	for _, ns := range nss {
+		paths = append(paths, "/v1/nameservers/"+ns+"?limit=25")
+	}
+
+	var samples []int64 // pooled per-request latencies across runs
+	res := measure("serve-load", runs, func() int {
+		_, sp := trace.Start(ctx, "bench.serve.load")
+		defer sp.End()
+		perClient := make([][]int64, serveClients)
+		var wg sync.WaitGroup
+		for c := 0; c < serveClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 30 * time.Second}
+				lat := make([]int64, 0, serveRequestsPerClient)
+				for i := 0; i < serveRequestsPerClient; i++ {
+					// Stagger clients through the path list so the mix is
+					// uniform but no two clients are in lockstep.
+					p := paths[(i*serveClients+c)%len(paths)]
+					t0 := time.Now()
+					resp, err := client.Get(srv.URL + p)
+					if err != nil {
+						fatalf("serve-load workload: GET %s: %v", p, err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fatalf("serve-load workload: GET %s: status %d", p, resp.StatusCode)
+					}
+					lat = append(lat, time.Since(t0).Nanoseconds())
+				}
+				perClient[c] = lat
+			}(c)
+		}
+		wg.Wait()
+		for _, lat := range perClient {
+			samples = append(samples, lat...)
+		}
+		n := serveClients * serveRequestsPerClient
+		sp.SetAttrInt("items", n)
+		sp.SetAttrInt("clients", serveClients)
+		return n
+	})
+	res.P50Ns = percentileNs(samples, 0.50)
+	res.P95Ns = percentileNs(samples, 0.95)
+	res.P99Ns = percentileNs(samples, 0.99)
+	logger.Info("serving percentiles", "p50_ns", res.P50Ns, "p95_ns", res.P95Ns, "p99_ns", res.P99Ns)
+	return res
+}
+
+// percentileNs returns the q-quantile of samples (nearest-rank), or 0
+// when empty. Sorts in place.
+func percentileNs(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(math.Ceil(q*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
 }
 
 // benchSource streams the reference world's snapshots zone-outer,

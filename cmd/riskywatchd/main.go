@@ -22,9 +22,18 @@
 //	riskywatchd -feed http://localhost:8053 -whois dataset.whois -metrics :8054
 //
 // With -metrics, feed lag, checkpoint age, applied-day and per-class
-// alert counters are served on GET /metrics alongside /debug/pprof.
-// The process shuts down gracefully on SIGINT/SIGTERM, writing a final
-// checkpoint first.
+// alert counters are served on GET /metrics alongside /debug/pprof,
+// /healthz, /readyz, and the human-readable /statusz. Readiness means
+// "alerting usefully right now": the feed (or archive) is reachable,
+// lag is within -max-lag-days, and the checkpoint is younger than
+// -max-checkpoint-age — a watcher that is silently behind is missed
+// hijack windows, so it reports not-ready rather than limping quietly.
+// The lag gauge updates on every poll, empty pages included, so a
+// stalled feed shows as growing lag instead of a frozen gauge.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
+// to 503 first, the -drain window elapses, and a final checkpoint is
+// written before exit.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"repro/internal/dzdbapi"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/watch"
@@ -65,10 +75,14 @@ func main() {
 	once := flag.Bool("once", false, "exit after the first full catch-up instead of tailing")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
 	page := flag.Int("page", 365, "days per feed page")
+	maxLag := flag.Int("max-lag-days", 2, "readiness threshold: max days the engine may trail the feed's close day")
+	maxCkptAge := flag.Duration("max-checkpoint-age", 5*time.Minute, "readiness threshold: max checkpoint age (with -checkpoint)")
+	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before shutdown proceeds")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
 	app := daemon.New("riskywatchd", *version)
+	defer app.Close()
 	if (*archive == "") == (*feed == "") {
 		app.Fatal("flags", errors.New("exactly one of -archive or -feed is required"))
 	}
@@ -80,6 +94,7 @@ func main() {
 		hc:       &http.Client{Timeout: 10 * time.Second},
 		ckptPath: *ckptPath,
 		ckptIvl:  *ckptEvery,
+		maxLag:   *maxLag,
 
 		lag:     app.Reg.Gauge("watch_feed_lag_days", "Days between the feed's close day and the last day applied."),
 		ckptAge: app.Reg.Gauge("watch_checkpoint_age_seconds", "Seconds since the last checkpoint was written."),
@@ -87,6 +102,59 @@ func main() {
 		alerts:  app.Reg.CounterVec("watch_alerts_total", "Alerts emitted, by class.", "type"),
 	}
 	w.lastCkpt.Store(time.Now().UnixNano())
+	w.closeDay.Store(int64(dates.None))
+	w.lastDay.Store(int64(dates.None))
+
+	// Readiness: the source must be answering (TTL'd — a wedged poll
+	// loop goes stale and flips /readyz without ever reporting an
+	// error), the engine must be within -max-lag-days of the feed's
+	// close, and the checkpoint must be young enough to bound replay
+	// after a crash.
+	feedTTL := 3 * *poll
+	if feedTTL < 10*time.Second {
+		feedTTL = 10 * time.Second
+	}
+	w.feedCheck = app.Health.Register("feed", health.Readiness, feedTTL)
+	app.Health.RegisterFunc("lag", health.Readiness, func() error {
+		if lag := w.lag.Value(); lag > int64(*maxLag) {
+			return fmt.Errorf("%d days behind the feed (max %d)", lag, *maxLag)
+		}
+		return nil
+	})
+	if *ckptPath != "" {
+		app.Health.RegisterFunc("checkpoint", health.Readiness, func() error {
+			age := time.Since(time.Unix(0, w.lastCkpt.Load()))
+			if age > *maxCkptAge {
+				return fmt.Errorf("checkpoint %s old (max %s)", age.Round(time.Second), *maxCkptAge)
+			}
+			return nil
+		})
+	}
+
+	source := *feed
+	if source == "" {
+		source = *archive + ".dzdb"
+	}
+	app.StatusSection("watch", func() []daemon.KV {
+		rows := []daemon.KV{
+			{K: "source", V: source},
+			{K: "last_day", V: w.engineLastDay()},
+			{K: "alerts_emitted", V: fmt.Sprintf("%d", w.engineSeq())},
+			{K: "feed_lag_days", V: fmt.Sprintf("%d", w.lag.Value())},
+		}
+		if cd := dates.Day(w.closeDay.Load()); cd != dates.None {
+			rows = append(rows, daemon.KV{K: "feed_close_day", V: cd.String()})
+		}
+		if w.breaker != nil {
+			rows = append(rows, daemon.KV{K: "feed_breaker", V: w.breaker.State().String()})
+		}
+		if w.ckptPath != "" {
+			rows = append(rows,
+				daemon.KV{K: "checkpoint", V: w.ckptPath},
+				daemon.KV{K: "checkpoint_age", V: time.Since(time.Unix(0, w.lastCkpt.Load())).Round(time.Second).String()})
+		}
+		return rows
+	})
 
 	if *alertsPath == "" || *alertsPath == "-" {
 		w.enc = json.NewEncoder(os.Stdout)
@@ -121,6 +189,7 @@ func main() {
 	if w.engine == nil {
 		w.engine = watch.New(wh, dir)
 	}
+	w.syncMirror()
 
 	metricsSrv := app.ServeObservability(*metricsAddr)
 	ctx, stop := daemon.SignalContext()
@@ -155,6 +224,9 @@ func main() {
 		app.Log.Error("watch loop failed", "err", err)
 		defer os.Exit(1)
 	}
+	// Readiness flips before the final checkpoint and metrics teardown,
+	// so probes racing shutdown see 503 while the endpoint still answers.
+	app.BeginShutdown(*drain)
 	if cerr := w.checkpoint(true); cerr != nil {
 		app.Log.Error("final checkpoint", "err", cerr)
 	}
@@ -184,9 +256,10 @@ func loadWHOIS(path, prefix string) (*whois.History, error) {
 }
 
 type watcher struct {
-	app    *daemon.App
-	engine *watch.Engine
-	tracer *trace.Tracer
+	app     *daemon.App
+	engine  *watch.Engine
+	tracer  *trace.Tracer
+	breaker *faults.Breaker // feed mode only
 
 	enc     *json.Encoder
 	webhook string
@@ -195,11 +268,56 @@ type watcher struct {
 	ckptPath string
 	ckptIvl  time.Duration
 	lastCkpt atomic.Int64 // unix nanos of the last checkpoint write
+	maxLag   int
+
+	// lastDay/seq/closeDay mirror engine and feed state for concurrent
+	// readers (/statusz, health funcs); the engine itself is owned by the
+	// apply goroutine.
+	lastDay  atomic.Int64
+	seq      atomic.Uint64
+	closeDay atomic.Int64
+
+	feedCheck *health.Check
 
 	lag     *obs.Gauge
 	ckptAge *obs.Gauge
 	applied *obs.Counter
 	alerts  *obs.CounterVec
+}
+
+// engineLastDay renders the mirrored engine position.
+func (w *watcher) engineLastDay() string {
+	return dates.Day(w.lastDay.Load()).String()
+}
+
+// engineSeq returns the mirrored alert sequence number.
+func (w *watcher) engineSeq() uint64 { return w.seq.Load() }
+
+// syncMirror refreshes the atomic mirrors from the engine. Call from
+// the apply goroutine only.
+func (w *watcher) syncMirror() {
+	w.lastDay.Store(int64(w.engine.LastDay()))
+	w.seq.Store(w.engine.Seq())
+}
+
+// passed records the outcome of one catch-up pass (feed page walk or
+// archive re-stat): the reachability check and — the part that must
+// move even when nothing new arrived — the lag gauge.
+func (w *watcher) passed(last, closeDay dates.Day, err error) {
+	if err != nil {
+		w.feedCheck.Fail(err.Error())
+		return
+	}
+	w.feedCheck.OK()
+	if closeDay == dates.None {
+		return // empty feed: nothing to lag behind
+	}
+	w.closeDay.Store(int64(closeDay))
+	lag := int64(0)
+	if last != dates.None && closeDay > last {
+		lag = int64(closeDay - last)
+	}
+	w.lag.Set(lag)
 }
 
 // emit writes one alert to every sink.
@@ -243,6 +361,7 @@ func (w *watcher) onApplied(ctx context.Context, day, closeDay dates.Day, alerts
 	sp.End()
 	w.applied.Inc()
 	w.lag.Set(int64(closeDay - day))
+	w.syncMirror()
 	if err := w.checkpoint(false); err != nil {
 		w.app.Log.Error("checkpoint", "err", err)
 	}
@@ -285,18 +404,19 @@ func (w *watcher) checkpoint(force bool) error {
 // hammering a down server, and the follower protocol guarantees no
 // alert is lost or duplicated across either.
 func (w *watcher) runFeed(ctx context.Context, base string, page int, poll time.Duration, once bool) error {
-	breaker := &faults.Breaker{Name: "dzdb_feed"}
-	breaker.Instrument(w.app.Reg)
+	w.breaker = &faults.Breaker{Name: "dzdb_feed"}
+	w.breaker.Instrument(w.app.Reg)
 	f := &watch.Follower{
 		Client: &dzdbapi.Client{
 			BaseURL: base,
 			Retry:   &faults.Policy{MaxAttempts: 5},
-			Breaker: breaker,
+			Breaker: w.breaker,
 			Tracer:  w.tracer,
 		},
 		Engine:    w.engine,
 		OnAlert:   w.emit,
 		OnApplied: func(day, closeDay dates.Day, n int) { w.onApplied(ctx, day, closeDay, n) },
+		OnPass:    w.passed,
 		PageSize:  page,
 		Poll:      poll,
 		Once:      once,
@@ -316,6 +436,7 @@ func (w *watcher) runArchive(ctx context.Context, prefix string, poll time.Durat
 	for {
 		st, err := os.Stat(path)
 		if err != nil {
+			w.passed(w.engine.LastDay(), dates.None, err)
 			return err
 		}
 		if !st.ModTime().Equal(lastMod) {
@@ -324,6 +445,9 @@ func (w *watcher) runArchive(ctx context.Context, prefix string, poll time.Durat
 				return err
 			}
 		}
+		// Every poll — replay or no-op — refreshes the reachability
+		// check and the lag gauge against the last seen close day.
+		w.passed(w.engine.LastDay(), dates.Day(w.closeDay.Load()), nil)
 		if once {
 			return nil
 		}
@@ -349,6 +473,7 @@ func (w *watcher) replayArchive(ctx context.Context, path string) error {
 	if err != nil {
 		return fmt.Errorf("building delta index: %w", err)
 	}
+	w.closeDay.Store(int64(idx.Last()))
 	from := idx.First()
 	if last := w.engine.LastDay(); last != dates.None {
 		from = last + 1

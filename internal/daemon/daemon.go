@@ -1,9 +1,12 @@
 // Package daemon carries the boilerplate every long-running command in
 // this repository repeats: the -version flag, a named structured
 // logger, build-info registration, a signal-bound context, and the
-// /metrics + pprof observability endpoint. Keeping it in one place
+// observability endpoint — /metrics + pprof plus the operational-health
+// surface (/healthz, /readyz, /statusz), the go_*/process_* runtime
+// collector, and the slo_* burn-rate tracker. Keeping it in one place
 // means dzdbd, eppd, and riskywatchd cannot drift apart on process
-// hygiene.
+// hygiene: every daemon answers the same probes with the same
+// semantics, and only the readiness conditions differ.
 package daemon
 
 import (
@@ -19,6 +22,9 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	obsruntime "repro/internal/obs/runtime"
+	"repro/internal/obs/slo"
 )
 
 // App is the shared per-process state.
@@ -26,10 +32,25 @@ type App struct {
 	Name string
 	Log  *slog.Logger
 	Reg  *obs.Registry
+	// Health is the probe registry behind /healthz and /readyz. Daemons
+	// register their readiness conditions on it; BeginShutdown flips
+	// readiness before listeners close.
+	Health *health.Registry
+	// Runtime is the background go_*/process_* gauge collector, started
+	// by New and resampled before every /metrics scrape.
+	Runtime *obsruntime.Collector
+	// SLO evaluates latency objectives registered via TrackSLO into
+	// slo_* gauges and the /statusz SLO block.
+	SLO *slo.Tracker
+
+	start   time.Time
+	statusz statusz
+	sloLoop bool
 }
 
 // New builds the app: named logger on the default registry with build
-// info registered. If version is true (the -version flag), it prints
+// info registered, the runtime collector running, and empty health and
+// SLO registries. If version is true (the -version flag), it prints
 // build information and exits — callers invoke it right after
 // flag.Parse and never see it return in that case.
 func New(name string, version bool) *App {
@@ -37,9 +58,48 @@ func New(name string, version bool) *App {
 		fmt.Println(obs.Version())
 		os.Exit(0)
 	}
-	a := &App{Name: name, Log: obs.NewLogger(name), Reg: obs.Default}
+	a := &App{
+		Name:   name,
+		Log:    obs.NewLogger(name),
+		Reg:    obs.Default,
+		Health: health.NewRegistry(),
+		start:  time.Now(),
+	}
 	a.Reg.RegisterBuildInfo()
+	a.Health.Instrument(a.Reg)
+	a.Runtime = obsruntime.Start(a.Reg, 0)
+	a.SLO = slo.NewTracker(a.Reg)
 	return a
+}
+
+// TrackSLO registers a latency objective over histograms and (on first
+// use) starts the background evaluation loop.
+func (a *App) TrackSLO(obj slo.Objective, windows []time.Duration, hists ...*obs.Histogram) {
+	a.SLO.Track(obj, windows, hists...)
+	if !a.sloLoop {
+		a.sloLoop = true
+		a.SLO.Start(0)
+	}
+	a.SLO.Evaluate()
+}
+
+// BeginShutdown fails readiness (liveness is untouched) so load
+// balancers stop routing here, logs the drain, and sleeps for the grace
+// period — the window in which probes observe not-ready while the
+// listeners still answer. Call on SIGTERM, before closing servers.
+func (a *App) BeginShutdown(grace time.Duration) {
+	a.Health.BeginShutdown()
+	a.Log.Info("draining", "reason", "shutdown", "grace", grace.String())
+	if grace > 0 {
+		time.Sleep(grace)
+	}
+}
+
+// Close stops the background collectors. Safe to call more than once;
+// the daemons defer it, tests use it for cleanup.
+func (a *App) Close() {
+	a.Runtime.Stop()
+	a.SLO.Stop()
 }
 
 // Fatal logs the error and exits non-zero.
@@ -56,11 +116,20 @@ func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// ObservabilityMux returns a mux serving GET /metrics from the app's
-// registry plus the pprof handlers under /debug/pprof/.
+// ObservabilityMux returns a mux serving the full operational surface:
+// GET /metrics (with a fresh runtime sample per scrape), the probe
+// endpoints /healthz and /readyz, the human-readable /statusz, and the
+// pprof handlers under /debug/pprof/.
 func (a *App) ObservabilityMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("GET /metrics", a.Reg.Handler())
+	metrics := a.Reg.Handler()
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.Runtime.Sample()
+		metrics.ServeHTTP(w, r)
+	}))
+	mux.Handle("GET /healthz", a.Health.LivenessHandler())
+	mux.Handle("GET /readyz", a.Health.ReadinessHandler())
+	mux.Handle("GET /statusz", a.StatusHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs/health"
 )
 
 func TestObservabilityMux(t *testing.T) {
@@ -37,6 +39,65 @@ func TestObservabilityMux(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("pprof cmdline = %d", resp.StatusCode)
+	}
+}
+
+func TestProbeEndpoints(t *testing.T) {
+	app := New("testd", false)
+	t.Cleanup(app.Close)
+	store := app.Health.Register("store", health.Readiness, 0)
+	app.StatusSection("custom", func() []KV {
+		return []KV{{K: "hello", V: "world"}}
+	})
+	ts := httptest.NewServer(app.ObservabilityMux())
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Not ready until the store check reports; liveness is independent.
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("healthz = %d, want 200", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "store") {
+		t.Errorf("readyz before store = %d %q", code, body)
+	}
+	store.OK()
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("readyz after store OK = %d, want 200", code)
+	}
+
+	// /statusz renders runtime, health, and custom sections.
+	code, body := get("/statusz")
+	if code != 200 {
+		t.Fatalf("statusz = %d", code)
+	}
+	for _, want := range []string{"testd", "[runtime]", "goroutines", "[health]", "store", "[custom]", "hello", "world"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q:\n%s", want, body)
+		}
+	}
+
+	// go_* runtime gauges are exported on /metrics via the collector
+	// started by New.
+	if _, body := get("/metrics"); !strings.Contains(body, "go_goroutines") {
+		t.Errorf("metrics missing go_goroutines")
+	}
+
+	// BeginShutdown flips readiness but not liveness.
+	app.BeginShutdown(0)
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "shutting down") {
+		t.Errorf("readyz while draining = %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("healthz while draining = %d, want 200", code)
 	}
 }
 

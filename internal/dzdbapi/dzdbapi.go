@@ -222,6 +222,27 @@ func (s *Server) store() store {
 // Metrics returns the registry the request middleware records into.
 func (s *Server) Metrics() *obs.Registry { return s.obs }
 
+// LatencyHistograms returns the request-latency histograms for the given
+// routes (by route label, e.g. "/v1/domains/{name}"), creating any not
+// yet hit. The SLO tracker in dzdbd feeds on these.
+func (s *Server) LatencyHistograms(routes ...string) []*obs.Histogram {
+	vec := s.obs.HistogramVec(MetricRequestSeconds, "API request latency by route.", nil, "route")
+	out := make([]*obs.Histogram, len(routes))
+	for i, r := range routes {
+		out[i] = vec.With(r)
+	}
+	return out
+}
+
+// V1Routes lists the versioned route labels — the set the serving SLO is
+// defined over.
+func V1Routes() []string {
+	return []string{
+		"/v1/stats", "/v1/zones", "/v1/domains/{name}", "/v1/nameservers/{name}",
+		"/v1/zones/{zone}/snapshot", "/v1/deltas",
+	}
+}
+
 // handle mounts handler at pattern behind the metrics-and-tracing
 // middleware. The route label is the pattern without the method so
 // label cardinality is bounded by the route table, never by client

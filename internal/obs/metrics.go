@@ -77,6 +77,30 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 — for ratios, fractions, and
+// second-valued quantities that do not fit the integer Gauge. Rendered
+// as a plain gauge in exposition.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative).
+func (g *FloatGauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Exemplar is one concrete observation kept alongside a histogram —
 // typically the latest request's trace ID, so a latency spike on a
 // dashboard links to the exact trace that caused it.
@@ -147,11 +171,50 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// BucketSnapshot is a point-in-time copy of a histogram's buckets. The
+// slo package estimates quantiles and burn rates from (deltas of) these.
+type BucketSnapshot struct {
+	// Bounds are the finite upper bounds, ascending; the implicit +Inf
+	// bucket follows them.
+	Bounds []float64
+	// Counts has len(Bounds)+1 entries: per-bucket observation counts,
+	// the last being the overflow (+Inf) bucket — observations above the
+	// largest finite bound, which the per-bound counters never record.
+	Counts []uint64
+	// Count and Sum mirror the histogram's totals at snapshot time.
+	Count uint64
+	Sum   float64
+}
+
+// Snapshot copies the histogram's current bucket state. Concurrent
+// Observes may land between the individual loads; the overflow bucket is
+// derived as Count minus the finite buckets and clamped at zero, so the
+// snapshot is always internally consistent.
+func (h *Histogram) Snapshot() BucketSnapshot {
+	s := BucketSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	var finite uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		finite += c
+	}
+	if s.Count > finite {
+		s.Counts[len(h.bounds)] = s.Count - finite
+	}
+	return s
+}
+
 type kind int
 
 const (
 	kindCounter kind = iota
 	kindGauge
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -159,7 +222,7 @@ func (k kind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindFloatGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -199,6 +262,8 @@ func (f *family) get(values []string) any {
 		m = new(Counter)
 	case kindGauge:
 		m = new(Gauge)
+	case kindFloatGauge:
+		m = new(FloatGauge)
 	default:
 		m = newHistogram(f.bounds)
 	}
@@ -276,6 +341,11 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // With returns the child counter for the given label values.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).(*Counter) }
 
+// FloatGauge returns the unlabeled float gauge with the given name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.lookup(name, help, kindFloatGauge, nil, nil).get(nil).(*FloatGauge)
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
@@ -286,6 +356,18 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 
 // With returns the child gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).(*Gauge) }
+
+// FloatGaugeVec is a float gauge family with labels.
+type FloatGaugeVec struct{ f *family }
+
+// FloatGaugeVec returns the labeled float gauge family with the given
+// name.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	return &FloatGaugeVec{r.lookup(name, help, kindFloatGauge, labels, nil)}
+}
+
+// With returns the child float gauge for the given label values.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge { return v.f.get(values).(*FloatGauge) }
 
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
@@ -411,6 +493,10 @@ func (r *Registry) writeExposition(w io.Writer, openMetrics bool) (int64, error)
 				}
 			case *Gauge:
 				if err := wr("%s%s %d\n", f.name, ls, m.Value()); err != nil {
+					return total, err
+				}
+			case *FloatGauge:
+				if err := wr("%s%s %s\n", f.name, ls, formatFloat(m.Value())); err != nil {
 					return total, err
 				}
 			case *Histogram:

@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestCollectorSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := Start(reg, time.Hour) // interval long enough that only explicit Samples run
+	defer c.Stop()
+
+	s := c.Sample()
+	if s.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want >= 1", s.Goroutines)
+	}
+	if s.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", s.GOMAXPROCS)
+	}
+	if s.HeapAlloc == 0 || s.Sys == 0 {
+		t.Errorf("memstats not populated: heap=%d sys=%d", s.HeapAlloc, s.Sys)
+	}
+	if s.Uptime < 0 {
+		t.Errorf("Uptime = %v", s.Uptime)
+	}
+
+	if last := c.Last(); last.At != s.At {
+		t.Errorf("Last() = %+v, want the sample just taken", last)
+	}
+
+	var sb strings.Builder
+	reg.WriteTo(&sb)
+	out := sb.String()
+	for _, name := range []string{
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+		"go_gc_cpu_fraction",
+		"process_uptime_seconds",
+		"process_start_time_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+func TestCollectorStopIdempotent(t *testing.T) {
+	c := Start(obs.NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let the ticker fire at least once
+	c.Stop()
+	c.Stop() // second Stop must not panic
+	if c.Last().At.IsZero() {
+		t.Error("no sample recorded before Stop")
+	}
+}

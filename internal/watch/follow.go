@@ -25,9 +25,17 @@ type Follower struct {
 	// OnAlert receives every alert in emission order.
 	OnAlert func(Alert)
 	// OnApplied, when set, runs after each applied day with the feed's
-	// close day — the daemon hooks metrics (feed lag) and checkpointing
+	// close day — the daemon hooks per-day metrics and checkpointing
 	// here.
 	OnApplied func(day, closeDay dates.Day, alerts int)
+	// OnPass, when set, runs after every catch-up pass — successful or
+	// not, including passes that applied nothing — with the engine's
+	// position, the feed's close day (dates.None when the pass failed
+	// before reading a page), and the pass error. The daemon hooks feed
+	// lag and the feed-reachability health check here, so a stalled or
+	// empty feed still moves the gauges every poll instead of freezing
+	// them at the last applied day.
+	OnPass func(lastApplied, closeDay dates.Day, err error)
 
 	// PageSize is the number of days requested per page (default 365).
 	PageSize int
@@ -60,7 +68,10 @@ func (f *Follower) poll() time.Duration {
 // logged and retried at the poll cadence; in Once mode they abort.
 func (f *Follower) Run(ctx context.Context) error {
 	for {
-		caughtUp, err := f.sync(ctx)
+		caughtUp, closeDay, err := f.sync(ctx)
+		if f.OnPass != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			f.OnPass(f.Engine.LastDay(), closeDay, err)
+		}
 		switch {
 		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 			return err
@@ -84,19 +95,21 @@ func (f *Follower) Run(ctx context.Context) error {
 // sync performs one catch-up pass: request days after the engine's last
 // applied day and walk the cursor chain until the page window is
 // exhausted. It reports whether the engine reached the feed's close
-// day.
-func (f *Follower) sync(ctx context.Context) (bool, error) {
+// day, and the close day itself (dates.None when no page was read).
+func (f *Follower) sync(ctx context.Context) (bool, dates.Day, error) {
 	from := dates.None
 	if last := f.Engine.LastDay(); last != dates.None {
 		from = last + 1
 	}
 	cursor := ""
 	epoch := uint64(0)
+	closeDay := dates.None
 	for {
 		resp, err := f.Client.Deltas(ctx, from, cursor, f.pageSize())
 		if err != nil {
-			return false, err
+			return false, closeDay, err
 		}
+		closeDay = resp.CloseDay
 		if cursor != "" && resp.Epoch != epoch {
 			// The server adopted a new archive mid-walk; the cursor
 			// belongs to the old index. Restart from the engine's
@@ -105,20 +118,20 @@ func (f *Follower) sync(ctx context.Context) (bool, error) {
 				f.Log.Info("feed epoch changed mid-walk; restarting pass",
 					"old", epoch, "new", resp.Epoch)
 			}
-			return false, nil
+			return false, closeDay, nil
 		}
 		epoch = resp.Epoch
 		if resp.FirstDay == dates.None {
-			return true, nil // sealed but empty database
+			return true, closeDay, nil // sealed but empty database
 		}
 		for i := range resp.Deltas {
 			dd := resp.Deltas[i].Delta()
 			if err := f.apply(dd, resp.CloseDay); err != nil {
-				return false, err
+				return false, closeDay, err
 			}
 		}
 		if resp.NextCursor == "" {
-			return f.Engine.LastDay() >= resp.CloseDay, nil
+			return f.Engine.LastDay() >= resp.CloseDay, closeDay, nil
 		}
 		cursor = resp.NextCursor
 	}
