@@ -7,6 +7,7 @@
 //
 //	dzdbd [-addr :8053] [-scale 6] [-seed 1] [-detect] [-drain 2s]
 //	dzdbd [-addr :8053] -load dataset.dzdb
+//	dzdbd [-addr :8053] -load dataset.dzdb -data-dir /var/lib/dzdb
 //
 // Then:
 //
@@ -31,7 +32,15 @@
 //
 // With -load, SIGHUP re-reads the archive and atomically swaps it in:
 // requests in flight keep the snapshot they started on, new requests see
-// the new epoch, and reads never block behind the reload.
+// the new epoch, and reads never block behind the reload. The archive is
+// fingerprinted first: an unchanged file is never re-ingested.
+//
+// With -data-dir, sealed epochs persist in a segment store (see
+// internal/zonedb/segment): every successful build or reload is sealed
+// to disk, and the next boot adopts the newest sealed epoch whose source
+// fingerprint still matches — warm start, no re-ingest. Corrupt or torn
+// segment files are quarantined at open, reported on /statusz and the
+// "segments" readiness check, and the daemon rebuilds from source.
 package main
 
 import (
@@ -39,10 +48,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +66,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/whois"
 	"repro/internal/zonedb"
+	"repro/internal/zonedb/segment"
 )
 
 func main() {
@@ -61,6 +74,7 @@ func main() {
 	scale := flag.Float64("scale", 6, "mean new registrations per day (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed (ignored with -load)")
 	load := flag.String("load", "", "load a zone-database archive instead of simulating")
+	dataDir := flag.String("data-dir", "", "segment-store directory; sealed epochs persist here and warm-boot the next start")
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -81,6 +95,37 @@ func main() {
 		}
 		return nil
 	})
+
+	// Open the segment store (when configured) before the listener, so
+	// /statusz and the "segments" readiness check can report on it from
+	// the first probe. Corruption found here is already quarantined; the
+	// check stays failed until a fresh epoch seals successfully.
+	var st *segment.Store
+	var segCheck *health.Check
+	if *dataDir != "" {
+		segCheck = app.Health.Register("segments", health.Readiness, 0)
+		var err error
+		st, err = segment.Open(*dataDir, segment.WithObs(reg))
+		if err != nil {
+			logger.Error("segment store unavailable; epochs will not persist", "dir", *dataDir, "err", err)
+			segCheck.Fail("open: " + err.Error())
+			st = nil
+		} else if q := st.Quarantined(); len(q) > 0 {
+			for _, item := range q {
+				logger.Warn("segment quarantined", "name", item.Name, "reason", item.Reason, "err", item.Err)
+			}
+			segCheck.Fail(fmt.Sprintf("%d corrupt files quarantined; awaiting a fresh seal", len(q)))
+		} else {
+			segCheck.OK()
+		}
+	}
+
+	// curTag fingerprints the source of the epoch currently being served,
+	// shared between the boot and SIGHUP goroutines.
+	var tagMu sync.Mutex
+	curTag := ""
+	setTag := func(t string) { tagMu.Lock(); curTag = t; tagMu.Unlock() }
+	getTag := func() string { tagMu.Lock(); defer tagMu.Unlock(); return curTag }
 
 	api := dzdbapi.NewWithRegistry(db, reg)
 	api.Log = logger
@@ -111,6 +156,25 @@ func main() {
 		return rows
 	})
 
+	if st != nil {
+		app.StatusSection("segments", func() []daemon.KV {
+			segs := st.Segments()
+			rows := []daemon.KV{
+				{K: "dir", V: st.Dir()},
+				{K: "sealed", V: fmt.Sprintf("%d", len(segs))},
+			}
+			if info, ok := st.Latest(); ok {
+				rows = append(rows,
+					daemon.KV{K: "latest", V: fmt.Sprintf("%s (seq %d, close %s)", info.Name, info.Seq, info.CloseDay)},
+					daemon.KV{K: "source", V: info.SourceTag})
+			}
+			for _, q := range st.Quarantined() {
+				rows = append(rows, daemon.KV{K: "quarantined", V: fmt.Sprintf("%s (%s)", q.Name, q.Reason)})
+			}
+			return rows
+		})
+	}
+
 	srv := daemon.HTTPServer(*addr, mux)
 	ctx, stop := daemon.SignalContext()
 	defer stop()
@@ -120,18 +184,36 @@ func main() {
 	logger.Info("serving", "addr", *addr, "ready", false)
 
 	// Build or load the database behind the live listener; readiness
-	// holds at 503 until the swap lands.
+	// holds at 503 until the swap lands. With a segment store, a sealed
+	// epoch whose source fingerprint still matches is adopted directly —
+	// warm boot, no re-ingest — and a cold build seals its result so the
+	// next boot is warm.
 	go func() {
-		fresh, who, err := buildDB(logger, *load, *scale, *seed)
+		tag, err := sourceTag(*load, *scale, *seed)
 		if err != nil {
 			storeCheck.Fail(err.Error())
-			fatal("building database", err)
+			fatal("fingerprinting source", err)
+		}
+		fresh, who := warmBoot(logger, st, tag)
+		warm := fresh != nil
+		if !warm {
+			fresh, who, err = buildDB(logger, *load, *scale, *seed)
+			if err != nil {
+				storeCheck.Fail(err.Error())
+				fatal("building database", err)
+			}
 		}
 		db.Adopt(fresh)
+		setTag(tag)
 		storeCheck.OK()
-		logger.Info("store ready",
+		logger.Info("store ready", "warm", warm,
 			"domains", db.NumDomains(), "nameservers", db.NumNameservers(),
 			"epoch", int(db.View().Epoch()))
+		if !warm {
+			sealEpoch(logger, st, segCheck, db.View(), tag)
+		} else if segCheck != nil {
+			segCheck.OK()
+		}
 		if *runDetect {
 			det := detect.NewDetector(db, who, sim.StandardDirectory(),
 				detect.WithConfig(detect.Config{SkipMining: true}),
@@ -145,7 +227,10 @@ func main() {
 
 	// SIGHUP re-reads the archive (when serving one) and Adopts it: one
 	// atomic epoch flip, so reads racing the reload stay on the snapshot
-	// they started with and never observe a half-loaded database.
+	// they started with and never observe a half-loaded database. The
+	// archive is fingerprinted first: an unchanged file is a no-op, and a
+	// changed file whose epoch is already sealed in the segment store is
+	// adopted from disk instead of re-ingested.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -154,12 +239,31 @@ func main() {
 				logger.Warn("SIGHUP ignored: serving a simulated database, not an archive")
 				continue
 			}
+			tag, err := archiveTag(*load)
+			if err != nil {
+				logger.Error("reload failed: fingerprinting archive", "err", err)
+				continue
+			}
+			if tag == getTag() {
+				logger.Info("SIGHUP: archive unchanged; keeping the current epoch", "path", *load)
+				continue
+			}
+			if fresh := loadSealed(logger, st, tag); fresh != nil {
+				db.Adopt(fresh)
+				setTag(tag)
+				logger.Info("archive reloaded from sealed epoch (no re-ingest)", "path", *load,
+					"epoch", int(db.View().Epoch()),
+					"domains", db.NumDomains(), "nameservers", db.NumNameservers())
+				continue
+			}
 			fresh, err := loadArchive(*load)
 			if err != nil {
 				logger.Error("reload failed; still serving the previous epoch", "err", err)
 				continue
 			}
 			db.Adopt(fresh)
+			setTag(tag)
+			sealEpoch(logger, st, segCheck, db.View(), tag)
 			logger.Info("archive reloaded", "path", *load,
 				"epoch", int(db.View().Epoch()),
 				"domains", db.NumDomains(), "nameservers", db.NumNameservers())
@@ -218,4 +322,92 @@ func loadArchive(path string) (*zonedb.DB, error) {
 	}
 	defer f.Close()
 	return zonedb.ReadFrom(f)
+}
+
+// sourceTag fingerprints the configured data source. Epochs sealed under
+// the same tag hold the same facts, so a matching tag means a sealed
+// segment can stand in for a fresh ingest.
+func sourceTag(load string, scale float64, seed int64) (string, error) {
+	if load == "" {
+		return fmt.Sprintf("sim seed=%d scale=%g", seed, scale), nil
+	}
+	return archiveTag(load)
+}
+
+// archiveTag fingerprints an archive file by checksum and length —
+// cheaper than an ingest by orders of magnitude, and enough to recognise
+// an unchanged source.
+func archiveTag(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("archive crc32c:%08x size:%d", h.Sum32(), n), nil
+}
+
+// warmBoot adopts the newest sealed epoch when its source fingerprint
+// matches the configured source. It returns nil when the store is
+// absent, empty, stale, or corrupt — any of which mean a cold build.
+func warmBoot(logger *slog.Logger, st *segment.Store, tag string) (*zonedb.DB, *whois.History) {
+	fresh := loadSealed(logger, st, tag)
+	if fresh == nil {
+		return nil, nil
+	}
+	return fresh, whois.New()
+}
+
+// loadSealed loads the newest sealed epoch if its source tag matches.
+// Verification failure quarantines the segment inside Load; the caller
+// falls back to a source ingest either way.
+func loadSealed(logger *slog.Logger, st *segment.Store, tag string) *zonedb.DB {
+	if st == nil {
+		return nil
+	}
+	info, ok := st.Latest()
+	if !ok {
+		return nil
+	}
+	if info.SourceTag != tag {
+		logger.Info("sealed epoch is stale; ingesting from source",
+			"segment", info.Name, "sealed", info.SourceTag, "want", tag)
+		return nil
+	}
+	start := time.Now()
+	fresh, err := st.Load(info)
+	if err != nil {
+		logger.Error("sealed epoch failed verification; ingesting from source",
+			"segment", info.Name, "err", err)
+		return nil
+	}
+	logger.Info("adopted sealed epoch", "segment", info.Name,
+		"close_day", info.CloseDay.String(),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	return fresh
+}
+
+// sealEpoch persists the just-adopted epoch. A seal failure is
+// survivable — the daemon keeps serving from memory — but the segments
+// readiness check reports it so operators know restarts will be cold.
+func sealEpoch(logger *slog.Logger, st *segment.Store, segCheck *health.Check, v *zonedb.View, tag string) {
+	if st == nil {
+		return
+	}
+	info, err := st.Seal(v, tag)
+	if err != nil {
+		logger.Error("sealing epoch failed; this epoch will not survive a restart", "err", err)
+		if segCheck != nil {
+			segCheck.Fail("seal: " + err.Error())
+		}
+		return
+	}
+	if segCheck != nil {
+		segCheck.OK()
+	}
+	logger.Info("epoch sealed", "segment", info.Name, "seq", info.Seq, "bytes", info.Size)
 }

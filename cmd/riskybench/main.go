@@ -43,6 +43,7 @@ import (
 	"repro/internal/watch"
 	"repro/internal/zonedb"
 	"repro/internal/zonedb/delta"
+	"repro/internal/zonedb/segment"
 )
 
 var logger = obs.NewLogger("riskybench")
@@ -260,6 +261,49 @@ func main() {
 		det.RunContext(ctx)
 		return 1
 	}))
+
+	// cold-start measures the persistence payoff: adopting a sealed epoch
+	// from the segment store (what dzdbd -data-dir does on a warm boot)
+	// versus the re-ingest the store makes unnecessary. The seal happens
+	// outside the timing window; the workload is open + verify + decode.
+	segDir, err := os.MkdirTemp("", "riskybench-segments-")
+	if err != nil {
+		fatalf("cold-start workload: %v", err)
+	}
+	defer os.RemoveAll(segDir)
+	if st, err := segment.Open(segDir); err != nil {
+		fatalf("cold-start workload: %v", err)
+	} else if _, err := st.Seal(db.View(), "bench"); err != nil {
+		fatalf("cold-start workload: sealing: %v", err)
+	}
+	nDomains := db.NumDomains()
+	workloads = append(workloads, measure("cold-start", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.coldstart")
+		defer sp.End()
+		st, err := segment.Open(segDir)
+		if err != nil {
+			fatalf("cold-start workload: %v", err)
+		}
+		loaded, _, err := st.LoadLatest()
+		if err != nil {
+			fatalf("cold-start workload: %v", err)
+		}
+		if loaded.NumDomains() != nDomains {
+			fatalf("cold-start workload: loaded %d domains, want %d", loaded.NumDomains(), nDomains)
+		}
+		sp.SetAttrInt("items", nDomains)
+		return nDomains
+	}))
+	for _, w := range workloads {
+		if w.Name == "ingest" {
+			cold := workloads[len(workloads)-1]
+			if cold.NsPerOp > 0 {
+				logger.Info("warm boot vs re-ingest",
+					"ingest_ns", w.NsPerOp, "cold_start_ns", cold.NsPerOp,
+					"speedup", fmt.Sprintf("%.1fx", float64(w.NsPerOp)/float64(cold.NsPerOp)))
+			}
+		}
+	}
 
 	// The serving path: concurrent clients hammering the /v1 API and the
 	// delta feed of an in-process server, so BENCH_pipeline.json tracks

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	riskybiz [-scale N] [-seed S] [-only table3,figure6] [-csv]
-//	         [-save-data PREFIX] [-save-snapshots DIR] [-figures-csv DIR]
+//	         [-save-data PREFIX] [-save-segments DIR] [-save-snapshots DIR]
+//	         [-figures-csv DIR]
 //	         [-reingest [-strict] [-max-quarantine N] [-ingest-workers N]]
 //	         [-workers N] [-stats] [-stats-json FILE]
 package main
@@ -26,6 +27,7 @@ import (
 	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/zonedb/segment"
 )
 
 var logger = obs.NewLogger("riskybiz")
@@ -43,6 +45,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: funnel,patterns,table1..table6,figure3..figure7,accident,partial")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	saveData := flag.String("save-data", "", "after simulating, archive the dataset to PREFIX.dzdb / PREFIX.whois / PREFIX.exclude")
+	saveSegments := flag.String("save-segments", "", "after simulating, seal the zone DB into a segment store at this directory (dzdbd -data-dir warm-boots from it)")
 	figuresCSV := flag.String("figures-csv", "", "write per-figure CSV data files into this directory")
 	jsonOut := flag.Bool("json", false, "emit the full result summary as JSON instead of text artifacts")
 	stats := flag.Bool("stats", false, "print a detection stage-timing report to stderr")
@@ -106,6 +109,13 @@ func main() {
 			fatalf("saving dataset: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset archived under %s.{dzdb,whois,exclude}\n", *saveData)
+	}
+	if *saveSegments != "" {
+		info, err := sealSegments(study, *saveSegments, *seed, *scale)
+		if err != nil {
+			fatalf("saving -save-segments: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "epoch sealed to %s/%s (%d bytes)\n", *saveSegments, info.Name, info.Size)
 	}
 	if *figuresCSV != "" {
 		if err := writeFigureCSVs(study, *figuresCSV); err != nil {
@@ -273,6 +283,22 @@ func writeSnapshots(study *riskybiz.Study, dir string) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// sealSegments seals the simulated zone database into a segment store.
+// The source tag matches what dzdbd computes for the same -seed/-scale,
+// so `dzdbd -data-dir DIR -scale N -seed S` warm-boots from this seal
+// instead of re-simulating.
+func sealSegments(study *riskybiz.Study, dir string, seed int64, scale float64) (segment.Info, error) {
+	st, err := segment.Open(dir)
+	if err != nil {
+		return segment.Info{}, err
+	}
+	for _, q := range st.Quarantined() {
+		logger.Warn("segment quarantined", "name", q.Name, "reason", q.Reason)
+	}
+	tag := fmt.Sprintf("sim seed=%d scale=%g", seed, scale)
+	return st.Seal(study.World.ZoneDB().View(), tag)
 }
 
 // saveDataset archives the zone database, WHOIS history, and the

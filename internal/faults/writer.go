@@ -1,0 +1,94 @@
+package faults
+
+import "io"
+
+// WriteCloser wraps an io.Writer and injects the failure modes a durable
+// store must survive on its write path: a write error after FailAfter
+// bytes, short writes that deliver only part of each buffer, a failed
+// Sync (the fsync that never reached the platter), and a failed Close.
+// The segment-store crash-matrix tests drive one seal attempt per
+// injection point and assert the store recovers to a consistent sealed
+// state every time.
+type WriteCloser struct {
+	W io.Writer
+	// FailAfter is how many bytes to accept before Write starts failing
+	// with Err. Negative means never.
+	FailAfter int64
+	// Short makes every Write deliver at most half its buffer, reporting
+	// the truncated count with a nil error — the broken-contract short
+	// write bufio surfaces as io.ErrShortWrite.
+	Short bool
+	// FailSync makes Sync return Err instead of syncing.
+	FailSync bool
+	// FailClose makes Close return Err after closing the underlying
+	// writer (the data may or may not have hit the disk — the caller
+	// must treat the file as unusable either way).
+	FailClose bool
+	// Err is the injected error (default ErrInjected).
+	Err error
+
+	n int64
+}
+
+// NewWriteCloser returns a WriteCloser that fails with ErrInjected once
+// n bytes have been written. n < 0 disables the write failure.
+func NewWriteCloser(w io.Writer, n int64) *WriteCloser {
+	return &WriteCloser{W: w, FailAfter: n}
+}
+
+func (w *WriteCloser) err() error {
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrInjected
+}
+
+// Write delivers bytes until the failure point, then returns the
+// injected error forever. With Short set, at most half of each buffer is
+// delivered (always at least one byte), with a nil error.
+func (w *WriteCloser) Write(p []byte) (int, error) {
+	if w.FailAfter >= 0 {
+		remaining := w.FailAfter - w.n
+		if remaining <= 0 {
+			return 0, w.err()
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
+	if w.Short && len(p) > 1 {
+		p = p[:len(p)/2]
+	}
+	n, err := w.W.Write(p)
+	w.n += int64(n)
+	if err == nil && w.FailAfter >= 0 && w.n >= w.FailAfter {
+		err = w.err()
+	}
+	return n, err
+}
+
+// Sync syncs the underlying writer when it supports it, unless FailSync
+// injects a failure first.
+func (w *WriteCloser) Sync() error {
+	if w.FailSync {
+		return w.err()
+	}
+	if s, ok := w.W.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close closes the underlying writer when it supports it. With FailClose
+// the underlying writer is still closed, but the injected error is
+// reported — the torn state a caller must not mistake for durability.
+func (w *WriteCloser) Close() error {
+	var err error
+	if c, ok := w.W.(io.Closer); ok {
+		err = c.Close()
+	}
+	if w.FailClose {
+		return w.err()
+	}
+	return err
+}

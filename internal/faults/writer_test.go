@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriteCloserFailAfter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriteCloser(&buf, 5)
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("delivered %q", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteCloserNeverFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriteCloser(&buf, -1)
+	if n, err := w.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWriteCloserShort(t *testing.T) {
+	var buf bytes.Buffer
+	w := &WriteCloser{W: &buf, FailAfter: -1, Short: true}
+	n, err := w.Write([]byte("abcdefgh"))
+	if err != nil || n != 4 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	// A single byte still goes through, so writers that retry make
+	// progress instead of spinning.
+	if n, err := w.Write([]byte("z")); n != 1 || err != nil {
+		t.Fatalf("one-byte write: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteCloserSyncAndClose(t *testing.T) {
+	w := &WriteCloser{W: io.Discard, FailSync: true, FailClose: true, FailAfter: -1}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close: %v", err)
+	}
+	custom := errors.New("boom")
+	w2 := &WriteCloser{W: io.Discard, FailAfter: 0, Err: custom}
+	if _, err := w2.Write([]byte("a")); !errors.Is(err, custom) {
+		t.Fatalf("custom err: %v", err)
+	}
+}

@@ -3,8 +3,10 @@ package zonedb
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dates"
@@ -13,19 +15,53 @@ import (
 
 // The archive format is line-oriented text, one fact-span per line:
 //
-//	dzdb 1
+//	dzdb 2
 //	close 2021-09-30
 //	Z com
 //	D foo.com 2011-04-01 2016-07-13
 //	E foo.com ns1.x.net 2011-04-01 2016-07-13
 //	G ns1.x.net 2011-04-01 2016-07-13
+//	sum 1c291ca3 96
 //
 // It is trivially greppable and diffable, round-trips exactly, and
 // compresses well if the caller wraps the writer. Output is canonical:
 // records are sorted, so two DBs holding the same facts archive to
 // identical bytes regardless of ingestion order.
+//
+// The final sum line is an integrity trailer: the CRC32C and byte count
+// of everything before it (the magic line included). A "dzdb 2" archive
+// missing its trailer was truncated; a mismatching trailer means bit-rot
+// or a torn write. Legacy "dzdb 1" archives carry no trailer and still
+// load, with no integrity verification — the fallback for files written
+// before the trailer existed.
 
-const archiveMagic = "dzdb 1"
+const (
+	// archiveMagicV1 marks legacy archives without an integrity trailer.
+	archiveMagicV1 = "dzdb 1"
+	// archiveMagic marks archives that end with a checksummed trailer.
+	archiveMagic = "dzdb 2"
+)
+
+// archiveCRCTable is the CRC32C polynomial used by the trailer (shared
+// with the segment store's framing).
+var archiveCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sumWriter tees archive bytes into a running CRC32C and byte count so
+// the trailer can be emitted without buffering the whole archive.
+type sumWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (s *sumWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if n > 0 {
+		s.crc = crc32.Update(s.crc, archiveCRCTable, p[:n])
+		s.n += int64(n)
+	}
+	return n, err
+}
 
 // sortedKeys returns m's keys in sorted order.
 func sortedKeys[K ~string, V any](m map[K]V) []K {
@@ -56,18 +92,19 @@ func (t *tables) writeArchive(w io.Writer) error {
 		return fmt.Errorf("zonedb: archive requires a closed database")
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintf(bw, "%s\nclose %s\n", archiveMagic, t.closeDay)
+	sw := &sumWriter{w: bw}
+	fmt.Fprintf(sw, "%s\nclose %s\n", archiveMagic, t.closeDay)
 	for _, z := range t.Zones() {
-		fmt.Fprintf(bw, "Z %s\n", z)
+		fmt.Fprintf(sw, "Z %s\n", z)
 	}
 	for _, d := range sortedKeys(t.domains) {
 		for _, r := range t.domains[d].Spans() {
-			fmt.Fprintf(bw, "D %s %s %s\n", d, r.First, r.Last)
+			fmt.Fprintf(sw, "D %s %s %s\n", d, r.First, r.Last)
 		}
 	}
 	for _, h := range sortedKeys(t.glue) {
 		for _, r := range t.glue[h].Spans() {
-			fmt.Fprintf(bw, "G %s %s %s\n", h, r.First, r.Last)
+			fmt.Fprintf(sw, "G %s %s %s\n", h, r.First, r.Last)
 		}
 	}
 	edges := make([]Edge, 0, len(t.edges))
@@ -82,9 +119,12 @@ func (t *tables) writeArchive(w io.Writer) error {
 	})
 	for _, e := range edges {
 		for _, r := range t.edges[e].Spans() {
-			fmt.Fprintf(bw, "E %s %s %s %s\n", e.Domain, e.NS, r.First, r.Last)
+			fmt.Fprintf(sw, "E %s %s %s %s\n", e.Domain, e.NS, r.First, r.Last)
 		}
 	}
+	// The trailer checksums everything above it; it is written past the
+	// sumWriter so it does not checksum itself.
+	fmt.Fprintf(bw, "sum %08x %d\n", sw.crc, sw.n)
 	return bw.Flush()
 }
 
@@ -102,9 +142,21 @@ func ReadFrom(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("zonedb: empty archive")
 	}
 	lineNo++
-	if sc.Text() != archiveMagic {
-		return nil, fmt.Errorf("zonedb: bad magic %q", sc.Text())
+	magic := sc.Text()
+	if magic != archiveMagic && magic != archiveMagicV1 {
+		return nil, fmt.Errorf("zonedb: bad magic %q", magic)
 	}
+	// Reconstruct the byte stream the writer checksummed (each line plus
+	// its newline) so the trailer can be verified without a second pass.
+	var crc uint32
+	var count int64
+	addLine := func(line string) {
+		crc = crc32.Update(crc, archiveCRCTable, []byte(line))
+		crc = crc32.Update(crc, archiveCRCTable, []byte{'\n'})
+		count += int64(len(line)) + 1
+	}
+	addLine(magic)
+	sawSum := false
 	parseSpan := func(a, b string) (dates.Range, error) {
 		first, err := dates.Parse(a)
 		if err != nil {
@@ -119,13 +171,39 @@ func ReadFrom(r io.Reader) (*DB, error) {
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
+		fail := func(msg string) error {
+			return fmt.Errorf("zonedb: line %d: %s: %q", lineNo, msg, line)
+		}
+		if sawSum {
+			return nil, fail("data after integrity trailer")
+		}
+		if strings.HasPrefix(line, "sum ") {
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fail("malformed integrity trailer")
+			}
+			wantCRC, err := strconv.ParseUint(f[1], 16, 32)
+			if err != nil {
+				return nil, fail("malformed trailer checksum")
+			}
+			wantLen, err := strconv.ParseInt(f[2], 10, 64)
+			if err != nil {
+				return nil, fail("malformed trailer length")
+			}
+			if count != wantLen {
+				return nil, fmt.Errorf("zonedb: archive corrupt: %d payload bytes, trailer says %d (truncated or torn)", count, wantLen)
+			}
+			if crc != uint32(wantCRC) {
+				return nil, fmt.Errorf("zonedb: archive corrupt: payload checksum %08x, trailer says %08x", crc, uint32(wantCRC))
+			}
+			sawSum = true
+			continue
+		}
+		addLine(line)
 		if line == "" {
 			continue
 		}
 		fields := strings.Fields(line)
-		fail := func(msg string) error {
-			return fmt.Errorf("zonedb: line %d: %s: %q", lineNo, msg, line)
-		}
 		switch fields[0] {
 		case "close":
 			if len(fields) != 2 {
@@ -190,6 +268,9 @@ func ReadFrom(r io.Reader) (*DB, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if magic == archiveMagic && !sawSum {
+		return nil, fmt.Errorf("zonedb: archive corrupt: missing integrity trailer (truncated)")
 	}
 	if closeDay == dates.None {
 		return nil, fmt.Errorf("zonedb: archive missing close record")

@@ -84,3 +84,82 @@ func TestArchiveErrors(t *testing.T) {
 }
 
 func dn(s string) dnsname.Name { return dnsname.Name(s) }
+
+// archived returns the canonical v2 archive of a small sealed DB.
+func archived(t *testing.T) string {
+	t.Helper()
+	db := New()
+	db.DomainAdded("com", "foo.com", d(10))
+	db.DelegationAdded("com", "foo.com", "ns1.foo.com", d(10))
+	db.GlueAdded("com", "ns1.foo.com", d(10))
+	db.Close(d(100))
+	var buf bytes.Buffer
+	if err := db.WriteArchive(&buf); err != nil {
+		t.Fatalf("WriteArchive: %v", err)
+	}
+	return buf.String()
+}
+
+func TestArchiveTrailerWritten(t *testing.T) {
+	arch := archived(t)
+	if !strings.HasPrefix(arch, archiveMagic+"\n") {
+		t.Fatalf("archive starts %q, want %q", arch[:8], archiveMagic)
+	}
+	lines := strings.Split(strings.TrimSuffix(arch, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "sum ") {
+		t.Fatalf("last line %q is not an integrity trailer", last)
+	}
+	if _, err := ReadFrom(strings.NewReader(arch)); err != nil {
+		t.Fatalf("round trip with trailer: %v", err)
+	}
+}
+
+func TestArchiveTrailerDetectsTruncation(t *testing.T) {
+	arch := archived(t)
+	// Every prefix that loses the trailer (or part of a line) must be
+	// rejected — a truncated v2 archive is never mistaken for a whole one.
+	// (Losing only the final newline keeps the trailer intact and still
+	// verifies, so stop one byte short of that.)
+	for cut := 8; cut < len(arch)-1; cut += 7 {
+		if _, err := ReadFrom(strings.NewReader(arch[:cut])); err == nil {
+			t.Errorf("truncation at byte %d went undetected", cut)
+		}
+	}
+}
+
+func TestArchiveTrailerDetectsBitFlip(t *testing.T) {
+	arch := archived(t)
+	// Flip a date digit inside a record: still parseable, wrong facts —
+	// only the checksum can catch it.
+	flipAt := strings.Index(arch, "2000-")
+	if flipAt < 0 {
+		t.Fatal("no date found in archive")
+	}
+	mutated := arch[:flipAt] + "2001-" + arch[flipAt+5:]
+	_, err := ReadFrom(strings.NewReader(mutated))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("bit flip not caught by checksum: %v", err)
+	}
+}
+
+func TestArchiveLegacyV1StillLoads(t *testing.T) {
+	// A v1 archive has no trailer and must load without verification.
+	legacy := "dzdb 1\nclose 2020-01-01\nZ com\nD foo.com 2019-01-01 2019-06-01\n"
+	db, err := ReadFrom(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy archive rejected: %v", err)
+	}
+	if db.NumDomains() != 1 {
+		t.Fatalf("NumDomains = %d", db.NumDomains())
+	}
+}
+
+func TestArchiveTrailerRejectsTrailingData(t *testing.T) {
+	arch := archived(t)
+	for _, extra := range []string{"Z org\n", "sum 00000000 0\n"} {
+		if _, err := ReadFrom(strings.NewReader(arch + extra)); err == nil {
+			t.Errorf("data after trailer (%q) accepted", extra)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package segment is the zone database's durability layer: an on-disk
+// store of immutable, per-epoch segment files plus an atomically
+// replaced MANIFEST naming the sealed set.
+//
+// A segment file is the canonical archive encoding of one sealed epoch
+// (the sorted zonedb.WriteArchive bytes), framed into length-prefixed
+// blocks that each carry a CRC32C, with a trailer block checksumming the
+// whole payload. Torn writes, truncation, and bit-rot are therefore
+// detectable at any byte: a block either decodes exactly as written or
+// the segment is rejected.
+//
+// The MANIFEST is the commit point. It lists every sealed segment with
+// its size and whole-file checksum, carries its own trailing checksum,
+// and is only ever replaced via temp-file + fsync + rename — a crash at
+// any byte leaves either the old manifest or the new one, never a torn
+// one. A segment file not named by the manifest was never committed.
+//
+// On Open the store verifies every manifest-listed segment's length and
+// checksum; a segment that fails is quarantined (moved into the
+// quarantine/ subdirectory, counted in obs, reported to the caller) and
+// the store continues with the surviving epochs — graceful degradation,
+// mirroring the ingester's snapshot quarantine. The caller rebuilds only
+// the affected epochs from source archives.
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// segMagic begins every segment file.
+const segMagic = "dzdbseg 1\n"
+
+// blockSize is the writer's framing granularity. Readers accept any
+// block length up to maxBlockLen.
+const blockSize = 64 * 1024
+
+// maxBlockLen bounds the length field a reader will honour, so a
+// corrupt length prefix cannot demand an absurd allocation.
+const maxBlockLen = 1 << 24
+
+// castagnoli is the CRC32C table used for every checksum in the store.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a segment or manifest whose bytes fail structural
+// or checksum verification. Match with errors.Is.
+var ErrCorrupt = fmt.Errorf("segment: corrupt")
+
+// blockWriter frames a payload stream into checksummed blocks. Writes
+// accumulate into a fixed buffer; each full buffer is emitted as one
+// block. Finish flushes the partial block and writes the trailer.
+type blockWriter struct {
+	w     io.Writer
+	buf   []byte
+	n     int
+	whole hash.Hash32
+	head  [8]byte
+}
+
+func newBlockWriter(w io.Writer) *blockWriter {
+	return &blockWriter{w: w, buf: make([]byte, blockSize), whole: crc32.New(castagnoli)}
+}
+
+func (b *blockWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		c := copy(b.buf[b.n:], p)
+		b.n += c
+		total += c
+		p = p[c:]
+		if b.n == len(b.buf) {
+			if err := b.flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flush emits the buffered bytes as one block.
+func (b *blockWriter) flush() error {
+	if b.n == 0 {
+		return nil
+	}
+	data := b.buf[:b.n]
+	binary.BigEndian.PutUint32(b.head[0:4], uint32(len(data)))
+	binary.BigEndian.PutUint32(b.head[4:8], crc32.Checksum(data, castagnoli))
+	if err := writeFull(b.w, b.head[:]); err != nil {
+		return err
+	}
+	if err := writeFull(b.w, data); err != nil {
+		return err
+	}
+	b.whole.Write(data)
+	b.n = 0
+	return nil
+}
+
+// Finish flushes the last partial block and writes the trailer: a
+// zero-length block whose checksum field holds the CRC32C of the entire
+// payload. A segment without its trailer is torn by definition.
+func (b *blockWriter) Finish() error {
+	if err := b.flush(); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(b.head[0:4], 0)
+	binary.BigEndian.PutUint32(b.head[4:8], b.whole.Sum32())
+	return writeFull(b.w, b.head[:])
+}
+
+// writeFull writes p completely, turning a short write with a nil error
+// (an injected fault or a broken writer) into io.ErrShortWrite instead
+// of silently dropping bytes.
+func writeFull(w io.Writer, p []byte) error {
+	n, err := w.Write(p)
+	if err != nil {
+		return err
+	}
+	if n < len(p) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// writeSegment writes a complete segment file — magic, blocks, trailer —
+// whose payload is produced by encode writing into the framing writer.
+func writeSegment(w io.Writer, encode func(io.Writer) error) error {
+	if err := writeFull(w, []byte(segMagic)); err != nil {
+		return err
+	}
+	bw := newBlockWriter(w)
+	if err := encode(bw); err != nil {
+		return err
+	}
+	return bw.Finish()
+}
+
+// decodeSegment reads and verifies a segment stream, returning the
+// payload bytes. Every defect — bad magic, truncated header or data,
+// per-block checksum mismatch, oversized length, missing or wrong
+// trailer, trailing garbage — yields an error wrapping ErrCorrupt. It
+// never panics, whatever the input (FuzzDecodeSegment holds it to that).
+func decodeSegment(r io.Reader) ([]byte, error) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	var payload []byte
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated block header: %v", ErrCorrupt, err)
+		}
+		length := binary.BigEndian.Uint32(head[0:4])
+		sum := binary.BigEndian.Uint32(head[4:8])
+		if length == 0 {
+			// Trailer: sum covers the whole payload; nothing may follow.
+			if got := crc32.Checksum(payload, castagnoli); got != sum {
+				return nil, fmt.Errorf("%w: payload checksum %08x, trailer says %08x", ErrCorrupt, got, sum)
+			}
+			var one [1]byte
+			if _, err := r.Read(one[:]); err != io.EOF {
+				return nil, fmt.Errorf("%w: data after trailer", ErrCorrupt)
+			}
+			return payload, nil
+		}
+		if length > maxBlockLen {
+			return nil, fmt.Errorf("%w: block length %d exceeds limit", ErrCorrupt, length)
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err)
+		}
+		if got := crc32.Checksum(data, castagnoli); got != sum {
+			return nil, fmt.Errorf("%w: block checksum %08x, header says %08x", ErrCorrupt, got, sum)
+		}
+		payload = append(payload, data...)
+	}
+}
