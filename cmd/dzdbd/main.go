@@ -21,6 +21,13 @@
 //	curl http://localhost:8053/readyz             # readiness probe
 //	curl http://localhost:8053/statusz            # human-readable status
 //	go tool pprof http://localhost:8053/debug/pprof/profile
+//	curl 'http://localhost:8053/debug/prof/delta?type=heap&seconds=30' > delta.pprof
+//
+// The -prof-* flags opt into continuous profiling: -prof-dir starts
+// periodic heap/CPU/goroutine captures into a rotating directory, and
+// -prof-mutex-fraction/-prof-block-rate enable contention profiling
+// (off by default; it taxes every lock), which also lights up the
+// /statusz contention table and type=mutex delta profiles.
 //
 // The pre-/v1/ routes still answer, marked with a Deprecation header.
 //
@@ -78,10 +85,14 @@ func main() {
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
 	version := flag.Bool("version", false, "print build information and exit")
+	profFlags := daemon.RegisterProfFlags(flag.CommandLine)
 	flag.Parse()
 	app := daemon.New("dzdbd", *version)
 	defer app.Close()
 	logger, fatal, reg := app.Log, app.Fatal, app.Reg
+	if err := app.StartProfiler(profFlags); err != nil {
+		fatal("starting profiler", err)
+	}
 	detect.RegisterMetrics(reg)
 
 	// The DB starts empty and adopts the real data once built, so the

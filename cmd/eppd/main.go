@@ -42,10 +42,14 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
 	version := flag.Bool("version", false, "print build information and exit")
+	profFlags := daemon.RegisterProfFlags(flag.CommandLine)
 	flag.Parse()
 	app := daemon.New("eppd", *version)
 	defer app.Close()
 	logger, fatal := app.Log, app.Fatal
+	if err := app.StartProfiler(profFlags); err != nil {
+		fatal("starting profiler", err)
+	}
 
 	day, err := dates.Parse(*date)
 	if err != nil {

@@ -9,11 +9,22 @@
 // Usage:
 //
 //	riskybench [-scale 6] [-seed 1] [-runs 3] [-out BENCH_pipeline.json]
-//	           [-baseline BENCH_pipeline.json]
+//	           [-baseline BENCH_pipeline.json] [-profile DIR]
 //
 // -baseline compares the fresh numbers against a committed report and
 // exits nonzero when any ingest* or classify* workload regresses more
 // than 25% in ns/op — the CI guardrail for the parallel pipeline.
+//
+// -profile captures a CPU and heap pprof profile per workload into DIR
+// (<workload>.cpu.pprof / <workload>.heap.pprof), so a regression in the
+// report comes with the profile explaining it.
+//
+// The ingest-scaling sweep runs the parallel ingest at 1/2/4/8 workers
+// and records each point's throughput plus two efficiency views:
+// parallel_efficiency is speedup over the 1-worker run ÷ workers (1.0 =
+// linear scaling), worker_utilization is the fraction of worker time
+// spent busy (from the pool_* introspection). Together they answer the
+// ROADMAP's question — are the ingest workers computing or waiting?
 package main
 
 import (
@@ -26,7 +37,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -38,6 +51,7 @@ import (
 	"repro/internal/dnszone"
 	"repro/internal/dzdbapi"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/watch"
@@ -62,12 +76,25 @@ type workloadResult struct {
 	ItemsPerSec float64 `json:"items_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MinNs/MaxNs bracket the per-run wall times behind the NsPerOp
+	// mean — the visible noise floor for the -baseline regression gate
+	// (a 20% "regression" inside a 30% min-max spread is weather, not
+	// climate).
+	MinNs int64 `json:"min_ns,omitempty"`
+	MaxNs int64 `json:"max_ns,omitempty"`
 	// P50Ns/P95Ns/P99Ns are per-item latency percentiles, recorded only
 	// by serving workloads (serve-load) where the distribution matters,
 	// not just the mean.
 	P50Ns int64 `json:"p50_ns,omitempty"`
 	P95Ns int64 `json:"p95_ns,omitempty"`
 	P99Ns int64 `json:"p99_ns,omitempty"`
+	// Workers, ParallelEfficiency, and WorkerUtilization are recorded
+	// by the ingest-scaling sweep: efficiency is speedup over the
+	// 1-worker run ÷ workers, utilization is busy ÷ (wall × workers)
+	// from the pool introspection.
+	Workers            int     `json:"workers,omitempty"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+	WorkerUtilization  float64 `json:"worker_utilization,omitempty"`
 }
 
 // report is the BENCH_pipeline.json schema.
@@ -87,10 +114,31 @@ type report struct {
 	Stages []trace.Rollup `json:"stages"`
 }
 
-// measure runs fn runs times, averaging wall time and allocation deltas.
-// fn returns the number of items it processed (domains, snapshots, ...).
+// profileDir, when set by -profile, receives one CPU + heap pprof pair
+// per workload.
+var profileDir string
+
+// measure runs fn runs times, averaging wall time and allocation deltas
+// and recording the min/max run so the mean's spread is visible. fn
+// returns the number of items it processed (domains, snapshots, ...).
+// With -profile, the whole run loop executes under a CPU profile and a
+// heap snapshot lands next to it.
 func measure(name string, runs int, fn func() int) workloadResult {
+	var cpuFile *os.File
+	if profileDir != "" {
+		path := filepath.Join(profileDir, name+".cpu.pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Warn("profile capture disabled for workload", "name", name, "err", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Warn("profile capture disabled for workload", "name", name, "err", err)
+			f.Close()
+		} else {
+			cpuFile = f
+		}
+	}
 	var ns, allocs, bytes int64
+	var minNs, maxNs int64
 	items := 0
 	var ms runtime.MemStats
 	for i := 0; i < runs; i++ {
@@ -99,10 +147,24 @@ func measure(name string, runs int, fn func() int) workloadResult {
 		m0, b0 := ms.Mallocs, ms.TotalAlloc
 		t0 := time.Now()
 		items = fn()
-		ns += time.Since(t0).Nanoseconds()
+		run := time.Since(t0).Nanoseconds()
+		ns += run
+		if i == 0 || run < minNs {
+			minNs = run
+		}
+		if run > maxNs {
+			maxNs = run
+		}
 		runtime.ReadMemStats(&ms)
 		allocs += int64(ms.Mallocs - m0)
 		bytes += int64(ms.TotalAlloc - b0)
+	}
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		if err := prof.WriteCLIProfile(filepath.Join(profileDir, name+".heap.pprof"), "heap"); err != nil {
+			logger.Warn("heap profile failed", "name", name, "err", err)
+		}
 	}
 	res := workloadResult{
 		Name: name, Runs: runs,
@@ -110,11 +172,14 @@ func measure(name string, runs int, fn func() int) workloadResult {
 		ItemsPerOp:  items,
 		AllocsPerOp: allocs / int64(runs),
 		BytesPerOp:  bytes / int64(runs),
+		MinNs:       minNs,
+		MaxNs:       maxNs,
 	}
 	if res.NsPerOp > 0 {
 		res.ItemsPerSec = float64(items) / (float64(res.NsPerOp) / 1e9)
 	}
 	logger.Info("workload done", "name", name, "ns_per_op", res.NsPerOp,
+		"min_ns", minNs, "max_ns", maxNs,
 		"items", items, "allocs_per_op", res.AllocsPerOp)
 	return res
 }
@@ -125,6 +190,7 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per workload (results are averaged)")
 	out := flag.String("out", "BENCH_pipeline.json", "output file (\"-\" = stdout)")
 	baseline := flag.String("baseline", "", "prior report to compare against; exit nonzero on >25% ns/op regression in ingest*/classify* workloads")
+	profDir := flag.String("profile", "", "write per-workload CPU + heap pprof profiles into this `directory`")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
@@ -133,6 +199,12 @@ func main() {
 	}
 	if *runs < 1 {
 		*runs = 1
+	}
+	if *profDir != "" {
+		if err := os.MkdirAll(*profDir, 0o755); err != nil {
+			fatalf("creating -profile dir: %v", err)
+		}
+		profileDir = *profDir
 	}
 
 	tracer := trace.New()
@@ -207,6 +279,73 @@ func main() {
 		sp.SetAttrInt("workers", iw)
 		return nSnaps
 	}))
+
+	// The ingest-scaling sweep: the same parallel ingest at 1/2/4/8
+	// workers, so BENCH_pipeline.json carries a scaling curve instead of
+	// one parallel point, and the -baseline gate watches the curve. Each
+	// point records speedup-based parallel efficiency against the
+	// 1-worker run and the pool's measured worker utilization.
+	var scalingBase int64
+	for _, k := range []int{1, 2, 4, 8} {
+		reg := obs.NewRegistry()
+		var utilization float64
+		w := measure(fmt.Sprintf("ingest-scaling-w%d", k), *runs, func() int {
+			_, sp := trace.Start(ctx, "bench.ingest.scaling")
+			defer sp.End()
+			ing := zonedb.NewIngester()
+			ing.Workers = k
+			ing.Obs = reg
+			if err := ing.IngestAll(&benchSource{db: db, zones: db.Zones(), start: cfg.Start, end: cfg.End}); err != nil {
+				fatalf("ingest-scaling workload (w=%d): %v", k, err)
+			}
+			ing.Finish()
+			utilization = ing.ParallelEfficiency()
+			sp.SetAttrInt("items", nSnaps)
+			sp.SetAttrInt("workers", k)
+			return nSnaps
+		})
+		w.Workers = k
+		w.WorkerUtilization = utilization
+		if k == 1 {
+			scalingBase = w.NsPerOp
+			w.ParallelEfficiency = 1
+		} else if w.NsPerOp > 0 && scalingBase > 0 {
+			w.ParallelEfficiency = (float64(scalingBase) / float64(w.NsPerOp)) / float64(k)
+		}
+		logger.Info("ingest scaling point", "workers", k, "ns_per_op", w.NsPerOp,
+			"parallel_efficiency", fmt.Sprintf("%.3f", w.ParallelEfficiency),
+			"worker_utilization", fmt.Sprintf("%.3f", w.WorkerUtilization))
+		workloads = append(workloads, w)
+	}
+
+	// ingest-profiled measures the cost of leaving contention profiling
+	// on during the parallel ingest — the number DESIGN.md §12 budgets
+	// (< 10% over ingest-parallel). Rates restore before the next
+	// workload so only this window pays them.
+	workloads = append(workloads, measure("ingest-profiled", *runs, func() int {
+		_, sp := trace.Start(ctx, "bench.ingest.profiled")
+		defer sp.End()
+		prevMutex := runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		defer func() {
+			runtime.SetMutexProfileFraction(prevMutex)
+			runtime.SetBlockProfileRate(0)
+		}()
+		ing := zonedb.NewIngester()
+		ing.Workers = iw
+		if err := ing.IngestAll(&benchSource{db: db, zones: db.Zones(), start: cfg.Start, end: cfg.End}); err != nil {
+			fatalf("ingest-profiled workload: %v", err)
+		}
+		ing.Finish()
+		sp.SetAttrInt("items", nSnaps)
+		return nSnaps
+	}))
+	if base := findWorkload(workloads, "ingest-parallel"); base > 0 {
+		profiled := workloads[len(workloads)-1].NsPerOp
+		logger.Info("contention-profiling overhead on parallel ingest",
+			"ingest_parallel_ns", base, "ingest_profiled_ns", profiled,
+			"overhead", fmt.Sprintf("%+.1f%%", 100*(float64(profiled)/float64(base)-1)))
+	}
 
 	workloads = append(workloads, measure("detect", *runs, func() int {
 		det := &detect.Detector{DB: db, WHOIS: world.WHOIS(), Dir: world.Directory()}
@@ -335,6 +474,16 @@ func main() {
 		}
 		logger.Info("baseline check passed", "path", *baseline)
 	}
+}
+
+// findWorkload returns the named workload's NsPerOp, or 0.
+func findWorkload(ws []workloadResult, name string) int64 {
+	for _, w := range ws {
+		if w.Name == name {
+			return w.NsPerOp
+		}
+	}
+	return 0
 }
 
 // maxRegression is the tolerated ns/op growth over the baseline for the

@@ -9,6 +9,7 @@
 //	         [-figures-csv DIR]
 //	         [-reingest [-strict] [-max-quarantine N] [-ingest-workers N]]
 //	         [-workers N] [-stats] [-stats-json FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-mutexprofile FILE]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/detect"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -59,11 +61,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
 	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
 	version := flag.Bool("version", false, "print build information and exit")
+	profFlags := prof.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.Version())
 		return
 	}
+	stopProfiles := profFlags.Start()
+	defer stopProfiles()
 
 	var tracer *trace.Tracer
 	if *traceOut != "" || *traceChrome != "" {

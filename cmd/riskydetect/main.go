@@ -8,6 +8,7 @@
 //	riskybiz -scale 12 -save-data dataset
 //	riskydetect -data dataset [-only table3,figure6] [-csv]
 //	            [-workers N] [-stats] [-stats-json FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-mutexprofile FILE]
 //
 // The zone database can also be rebuilt from master-file snapshots
 // (riskybiz -save-snapshots) instead of the binary archive, with
@@ -35,6 +36,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/dnsname"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -68,11 +70,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a JSONL trace journal of the run to this file (\"-\" = stderr)")
 	traceChrome := flag.String("trace-chrome", "", "write the run's trace in Chrome trace_event format (load in Perfetto) to this file")
 	version := flag.Bool("version", false, "print build information and exit")
+	profFlags := prof.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.Version())
 		return
 	}
+	stopProfiles := profFlags.Start()
+	defer stopProfiles()
 
 	var tracer *trace.Tracer
 	if *traceOut != "" || *traceChrome != "" {

@@ -79,12 +79,16 @@ func main() {
 	maxCkptAge := flag.Duration("max-checkpoint-age", 5*time.Minute, "readiness threshold: max checkpoint age (with -checkpoint)")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before shutdown proceeds")
 	version := flag.Bool("version", false, "print build information and exit")
+	profFlags := daemon.RegisterProfFlags(flag.CommandLine)
 	flag.Parse()
 
 	app := daemon.New("riskywatchd", *version)
 	defer app.Close()
 	if (*archive == "") == (*feed == "") {
 		app.Fatal("flags", errors.New("exactly one of -archive or -feed is required"))
+	}
+	if err := app.StartProfiler(profFlags); err != nil {
+		app.Fatal("starting profiler", err)
 	}
 
 	w := &watcher{
@@ -420,6 +424,7 @@ func (w *watcher) runFeed(ctx context.Context, base string, page int, poll time.
 		PageSize:  page,
 		Poll:      poll,
 		Once:      once,
+		Obs:       w.app.Reg,
 		Log:       w.app.Log,
 	}
 	w.app.Log.Info("following feed", "url", base, "from", w.engine.LastDay().String())

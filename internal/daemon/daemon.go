@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/health"
+	obsprof "repro/internal/obs/prof"
 	obsruntime "repro/internal/obs/runtime"
 	"repro/internal/obs/slo"
 )
@@ -42,6 +43,9 @@ type App struct {
 	// SLO evaluates latency objectives registered via TrackSLO into
 	// slo_* gauges and the /statusz SLO block.
 	SLO *slo.Tracker
+	// Prof is the continuous profiler, set by StartProfiler (nil when
+	// the daemon does not opt in).
+	Prof *obsprof.Profiler
 
 	start   time.Time
 	statusz statusz
@@ -100,6 +104,9 @@ func (a *App) BeginShutdown(grace time.Duration) {
 func (a *App) Close() {
 	a.Runtime.Stop()
 	a.SLO.Stop()
+	if a.Prof != nil {
+		a.Prof.Stop()
+	}
 }
 
 // Fatal logs the error and exits non-zero.
@@ -135,6 +142,7 @@ func (a *App) ObservabilityMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/prof/delta", obsprof.DeltaHandler())
 	return mux
 }
 

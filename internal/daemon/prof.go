@@ -1,0 +1,81 @@
+package daemon
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/obs/prof"
+)
+
+// ProfFlags is the daemons' shared continuous-profiler flag block.
+// Contention profiling stays off unless -prof-mutex-fraction /
+// -prof-block-rate are set — it taxes every lock operation — and
+// periodic capture stays off unless -prof-dir names a directory.
+type ProfFlags struct {
+	Dir           string
+	Interval      time.Duration
+	Keep          int
+	MutexFraction int
+	BlockRate     int
+}
+
+// RegisterProfFlags installs the -prof-* flags on fs.
+func RegisterProfFlags(fs *flag.FlagSet) *ProfFlags {
+	var f ProfFlags
+	fs.StringVar(&f.Dir, "prof-dir", "", "continuous-profile capture `directory` (empty = no periodic capture)")
+	fs.DurationVar(&f.Interval, "prof-interval", time.Minute, "interval between profile capture sets")
+	fs.IntVar(&f.Keep, "prof-keep", 10, "profile capture sets to retain")
+	fs.IntVar(&f.MutexFraction, "prof-mutex-fraction", 0, "mutex profile sampling fraction (0 = off, 1 = every contention event)")
+	fs.IntVar(&f.BlockRate, "prof-block-rate", 0, "block profile rate in ns of blocking per sample (0 = off)")
+	return &f
+}
+
+// StartProfiler starts the continuous profiler from the parsed flags,
+// stores it on the App (Close stops it), and registers the /statusz
+// profiling section — config plus, when mutex profiling is on, the top
+// contended lock sites. Call once, after New and flag parsing.
+func (a *App) StartProfiler(f *ProfFlags) error {
+	p, err := prof.Start(prof.Config{
+		Dir:           f.Dir,
+		Interval:      f.Interval,
+		Keep:          f.Keep,
+		MutexFraction: f.MutexFraction,
+		BlockRate:     f.BlockRate,
+	}, a.Reg, a.Log)
+	if err != nil {
+		return err
+	}
+	a.Prof = p
+	a.StatusSection("profiling", func() []KV {
+		rows := []KV{
+			{"capture_dir", orDash(f.Dir)},
+			{"mutex_fraction", fmt.Sprintf("%d", f.MutexFraction)},
+			{"block_rate_ns", fmt.Sprintf("%d", f.BlockRate)},
+		}
+		if f.MutexFraction <= 0 {
+			rows = append(rows, KV{"contention", "mutex profiling off (-prof-mutex-fraction to enable)"})
+			return rows
+		}
+		sites := prof.TopContended(5)
+		if len(sites) == 0 {
+			rows = append(rows, KV{"contention", "no contention recorded"})
+			return rows
+		}
+		for i, s := range sites {
+			rows = append(rows, KV{
+				fmt.Sprintf("contended_%d", i+1),
+				fmt.Sprintf("%s — %d events, %d delay cycles", s.Site, s.Count, s.Delay),
+			})
+		}
+		return rows
+	})
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}

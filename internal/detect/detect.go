@@ -340,17 +340,20 @@ func (d *Detector) RunContext(ctx context.Context) *Result {
 		workers := d.Cfg.Workers
 		if workers > 1 && len(candidates) > 0 {
 			var wg sync.WaitGroup
+			stats.ClassifyBusy = make([]time.Duration, workers)
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
 					_, wsp := trace.Start(ctx, "detect.classify.worker")
 					wsp.SetAttrInt("worker", w)
+					t0 := now()
 					n := 0
 					for i := w; i < len(candidates); i += workers {
 						outs[i] = d.classifyOne(zd, candidates[i])
 						n++
 					}
+					stats.ClassifyBusy[w] = now().Sub(t0)
 					wsp.SetAttrInt("items", n)
 					wsp.End()
 				}(w)
@@ -381,7 +384,33 @@ func (d *Detector) RunContext(ctx context.Context) *Result {
 	stats.Funnel = res.Funnel
 	res.Stats = stats
 	d.recordFunnel(stats)
+	d.recordPools(stats)
 	return res
+}
+
+// recordPools mirrors the run's per-worker stage measurements into the
+// shared pool_* metric families (one EndRound per Run), so detect's
+// parallel stages report utilization and efficiency the same way the
+// zonedb ingest pool does.
+func (d *Detector) recordPools(stats *RunStats) {
+	if d.Obs == nil {
+		return
+	}
+	record := func(pool string, busy []time.Duration, items int, wall time.Duration) {
+		if len(busy) == 0 || wall <= 0 {
+			return
+		}
+		p := d.Obs.NewPoolStats(pool, len(busy))
+		for i, b := range busy {
+			w := p.Worker(i)
+			w.ObserveBusy(b)
+			// Stride sharding: worker i owns items i, i+n, ...
+			w.AddItems((items + len(busy) - 1 - i) / len(busy))
+		}
+		p.EndRound(wall)
+	}
+	record("detect_extract", stats.WorkerBusy, stats.Stage(StageExtract).Items, stats.Stage(StageExtract).Duration)
+	record("detect_classify", stats.ClassifyBusy, stats.Stage(StageClassify).Items, stats.Stage(StageClassify).Duration)
 }
 
 // recordFunnel mirrors the funnel counts into the obs registry.

@@ -1,0 +1,200 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"time"
+)
+
+// Delta endpoint defaults and bounds. A delta needs a window long
+// enough to accumulate signal but short enough that a curious operator
+// is not parked for a minute; cap it so a typo'd seconds=3000 cannot
+// pin a CPU profile (and the one-per-process CPU profiling slot) for
+// an hour.
+const (
+	defaultDeltaSeconds = 30
+	maxDeltaSeconds     = 120
+)
+
+// The delta handler replicates the dzdbapi v1 error envelope
+// ({"error":{"code","message"}}) so every HTTP surface speaks one error
+// dialect. Declared locally: dzdbapi imports obs, so importing it from
+// here would cycle.
+type deltaError struct {
+	Error deltaErrorBody `json:"error"`
+}
+
+type deltaErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeDeltaError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(deltaError{Error: deltaErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// DeltaHandler serves GET /debug/prof/delta?type=heap&seconds=30:
+// the change in a profile over the requested window, as a gzipped
+// pprof protobuf that `go tool pprof` reads directly.
+//
+//	type=heap       allocations during the window (plus in-use change)
+//	type=mutex      lock contention during the window (needs mutex profiling on)
+//	type=block      blocking events during the window (needs block profiling on)
+//	type=cpu        CPU profile over the window
+//	type=goroutine  snapshot at request time (seconds ignored)
+//
+// Cumulative since-process-start profiles hide the present: after a
+// 70s ingest, the next 30s of contention is invisible under the total.
+// Deltas are the observable the ROADMAP's serialization hunt needs.
+func DeltaHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		typ := r.URL.Query().Get("type")
+		if typ == "" {
+			typ = "heap"
+		}
+		seconds := defaultDeltaSeconds
+		if s := r.URL.Query().Get("seconds"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				writeDeltaError(w, http.StatusBadRequest, "invalid_seconds", "seconds must be a positive integer, got %q", s)
+				return
+			}
+			seconds = n
+		}
+		if seconds > maxDeltaSeconds {
+			seconds = maxDeltaSeconds
+		}
+		window := time.Duration(seconds) * time.Second
+
+		switch typ {
+		case "heap":
+			serveProfile(w, "heap", deltaHeap(r, window))
+		case "mutex":
+			if runtime.SetMutexProfileFraction(-1) <= 0 {
+				writeDeltaError(w, http.StatusPreconditionFailed, "profiling_disabled", "mutex profiling is off; start the daemon with -prof-mutex-fraction > 0")
+				return
+			}
+			serveProfile(w, "mutex", deltaContention(r, window, true))
+		case "block":
+			serveProfile(w, "block", deltaContention(r, window, false))
+		case "cpu":
+			serveCPU(w, r, window)
+		case "goroutine":
+			serveGoroutine(w)
+		default:
+			writeDeltaError(w, http.StatusBadRequest, "invalid_type", "unknown profile type %q (want heap, mutex, block, cpu, or goroutine)", typ)
+		}
+	})
+}
+
+func serveProfile(w http.ResponseWriter, typ string, data []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="delta-%s.pprof"`, typ))
+	w.Write(data)
+}
+
+// sleepCtx waits for d or the request's cancellation, whichever first.
+func sleepCtx(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+func deltaHeap(r *http.Request, window time.Duration) []byte {
+	before := memRecords()
+	sleepCtx(r, window)
+	after := memRecords()
+	samples := heapDelta(before, after)
+	return encodeProfile(
+		[]valueType{
+			{"alloc_objects", "count"},
+			{"alloc_space", "bytes"},
+			{"inuse_objects", "count"},
+			{"inuse_space", "bytes"},
+		},
+		valueType{"space", "bytes"},
+		int64(runtime.MemProfileRate),
+		window, samples,
+	)
+}
+
+func deltaContention(r *http.Request, window time.Duration, mutex bool) []byte {
+	scale := int64(1)
+	period := int64(1)
+	if mutex {
+		scale = int64(runtime.SetMutexProfileFraction(-1))
+		period = scale
+	}
+	before := blockRecords(mutex)
+	sleepCtx(r, window)
+	after := blockRecords(mutex)
+	samples := contentionDelta(before, after, scale)
+	// Delay stays in CPU cycles: the runtime's cycle clock calibration
+	// is not exported, and ranking contended sites does not need
+	// absolute seconds.
+	return encodeProfile(
+		[]valueType{
+			{"contentions", "count"},
+			{"delay", "cycles"},
+		},
+		valueType{"contentions", "count"},
+		period, window, samples,
+	)
+}
+
+func serveCPU(w http.ResponseWriter, r *http.Request, window time.Duration) {
+	// CPU profiling is already delta-shaped; stream straight through.
+	// Only one CPU profile can run per process, so a busy slot (the
+	// periodic capture loop, or a second curl) is reported rather than
+	// queued behind.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="delta-cpu.pprof"`)
+	if err := pprof.StartCPUProfile(w); err != nil {
+		w.Header().Del("Content-Disposition")
+		writeDeltaError(w, http.StatusConflict, "profile_busy", "another CPU profile is in progress: %v", err)
+		return
+	}
+	sleepCtx(r, window)
+	pprof.StopCPUProfile()
+}
+
+func serveGoroutine(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="goroutine.pprof"`)
+	pprof.Lookup("goroutine").WriteTo(w, 0)
+}
+
+// WriteCLIProfile is the shared exit-path helper behind the batch CLIs'
+// -memprofile/-mutexprofile flags: it snapshots the named runtime
+// profile to path. (CPU profiles need start/stop bracketing — see
+// StartCLIProfiles.)
+func WriteCLIProfile(path, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		f.Close()
+		return fmt.Errorf("prof: no %s profile", name)
+	}
+	debug := 0
+	if name == "heap" {
+		runtime.GC() // fold garbage out of the in-use numbers
+	}
+	if err := p.WriteTo(f, debug); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

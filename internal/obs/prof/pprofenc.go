@@ -1,0 +1,403 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"time"
+)
+
+// This file is a minimal encoder for the pprof profile.proto wire
+// format — just enough of the schema (samples, locations, functions,
+// string table, value/period types) for `go tool pprof` to accept the
+// output. It exists because delta profiles (the difference between two
+// runtime snapshots) cannot be produced by runtime/pprof's WriteTo, and
+// the google/pprof profile package is vendored inside the standard
+// library where we cannot import it. The repo convention is stdlib-only,
+// so we write the ~200 lines of protobuf by hand.
+//
+// Field numbers follow github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 10 duration_nanos,
+//	          11 period_type, 12 period
+//	ValueType: 1 type, 2 unit          (string-table indices)
+//	Sample:    1 location_id (packed), 2 value (packed)
+//	Location:  1 id, 3 address, 4 line
+//	Line:      1 function_id, 2 line
+//	Function:  1 id, 2 name, 3 system_name, 4 filename, 5 start_line
+
+// sampleRec is one aggregated profile sample: a call stack (leaf first,
+// as the runtime records them) and one value per sample type.
+type sampleRec struct {
+	stack  []uintptr
+	values []int64
+}
+
+// valueType names one sample dimension, e.g. {"alloc_space", "bytes"}.
+type valueType struct {
+	kind, unit string
+}
+
+// protoBuf is a tiny protobuf writer: varints, tags, and
+// length-delimited submessages.
+type protoBuf struct {
+	bytes.Buffer
+}
+
+func (b *protoBuf) varint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+// tag writes a field key. wire 0 = varint, wire 2 = length-delimited.
+func (b *protoBuf) tag(field, wire int) { b.varint(uint64(field)<<3 | uint64(wire)) }
+
+// int64Field writes a varint field, skipping proto3 zero defaults.
+func (b *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	b.tag(field, 0)
+	b.varint(uint64(v))
+}
+
+func (b *protoBuf) bytesField(field int, data []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(data)))
+	b.Write(data)
+}
+
+func (b *protoBuf) stringField(field int, s string) { b.bytesField(field, []byte(s)) }
+
+// packedField writes a repeated integer field in packed encoding.
+func (b *protoBuf) packedField(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	b.bytesField(field, inner.Bytes())
+}
+
+// profileBuilder accumulates the deduplicated string/function/location
+// tables while samples are added, then assembles the Profile message.
+type profileBuilder struct {
+	strings map[string]int64
+	strtab  []string
+
+	locIDs  map[uintptr]uint64
+	locMsgs []protoBuf
+
+	funcIDs  map[string]uint64
+	funcMsgs []protoBuf
+
+	sampleMsgs []protoBuf
+}
+
+func newProfileBuilder() *profileBuilder {
+	b := &profileBuilder{
+		strings: map[string]int64{"": 0},
+		strtab:  []string{""},
+		locIDs:  make(map[uintptr]uint64),
+		funcIDs: make(map[string]uint64),
+	}
+	return b
+}
+
+func (b *profileBuilder) stringIndex(s string) int64 {
+	if i, ok := b.strings[s]; ok {
+		return i
+	}
+	i := int64(len(b.strtab))
+	b.strings[s] = i
+	b.strtab = append(b.strtab, s)
+	return i
+}
+
+// functionID interns one function, keyed by name+file (good enough for
+// runtime frames, which never collide on that pair).
+func (b *profileBuilder) functionID(name, file string, startLine int) uint64 {
+	key := name + "\x00" + file
+	if id, ok := b.funcIDs[key]; ok {
+		return id
+	}
+	id := uint64(len(b.funcMsgs) + 1)
+	b.funcIDs[key] = id
+	var m protoBuf
+	m.int64Field(1, int64(id))
+	m.int64Field(2, b.stringIndex(name))
+	m.int64Field(3, b.stringIndex(name))
+	m.int64Field(4, b.stringIndex(file))
+	m.int64Field(5, int64(startLine))
+	b.funcMsgs = append(b.funcMsgs, m)
+	return id
+}
+
+// locationID interns one program counter as a Location, expanding
+// inlined frames into its Line list (innermost first, as
+// runtime.CallersFrames yields them). The runtime hands us return
+// addresses; CallersFrames accounts for that internally.
+func (b *profileBuilder) locationID(pc uintptr) uint64 {
+	if id, ok := b.locIDs[pc]; ok {
+		return id
+	}
+	id := uint64(len(b.locMsgs) + 1)
+	b.locIDs[pc] = id
+
+	var m protoBuf
+	m.int64Field(1, int64(id))
+	m.tag(3, 0) // address; write even when the varint would be elided
+	m.varint(uint64(pc))
+
+	frames := runtime.CallersFrames([]uintptr{pc})
+	wrote := false
+	for {
+		fr, more := frames.Next()
+		if fr.Function != "" || fr.File != "" {
+			fid := b.functionID(frameName(fr, pc), fr.File, 0)
+			var line protoBuf
+			line.int64Field(1, int64(fid))
+			line.int64Field(2, int64(fr.Line))
+			m.bytesField(4, line.Bytes())
+			wrote = true
+		}
+		if !more {
+			break
+		}
+	}
+	if !wrote {
+		fid := b.functionID(frameName(runtime.Frame{}, pc), "", 0)
+		var line protoBuf
+		line.int64Field(1, int64(fid))
+		m.bytesField(4, line.Bytes())
+	}
+	b.locMsgs = append(b.locMsgs, m)
+	return id
+}
+
+// frameName labels a frame, falling back to the raw pc for stripped or
+// foreign code so the profile stays navigable.
+func frameName(fr runtime.Frame, pc uintptr) string {
+	if fr.Function != "" {
+		return fr.Function
+	}
+	const hexdigits = "0123456789abcdef"
+	buf := []byte("0x")
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := (uint64(pc) >> uint(shift)) & 0xf
+		if d != 0 || started || shift == 0 {
+			started = true
+			buf = append(buf, hexdigits[d])
+		}
+	}
+	return string(buf)
+}
+
+func (b *profileBuilder) addSample(s sampleRec) {
+	var m protoBuf
+	ids := make([]uint64, 0, len(s.stack))
+	for _, pc := range s.stack {
+		ids = append(ids, b.locationID(pc))
+	}
+	m.packedField(1, ids)
+	vals := make([]uint64, len(s.values))
+	for i, v := range s.values {
+		vals[i] = uint64(v) // two's-complement varint, like protobuf int64
+	}
+	m.packedField(2, vals)
+	b.sampleMsgs = append(b.sampleMsgs, m)
+}
+
+func (b *profileBuilder) valueTypeMsg(vt valueType) []byte {
+	var m protoBuf
+	m.int64Field(1, b.stringIndex(vt.kind))
+	m.int64Field(2, b.stringIndex(vt.unit))
+	return m.Bytes()
+}
+
+// encodeProfile assembles a gzipped pprof profile from aggregated
+// samples. Every sample's values slice must be len(sampleTypes) long.
+func encodeProfile(sampleTypes []valueType, periodType valueType, period int64, duration time.Duration, samples []sampleRec) []byte {
+	b := newProfileBuilder()
+	var p protoBuf
+
+	// sample_type before samples: the string/location tables fill as
+	// samples intern their frames, but field order in the output does
+	// not matter to proto — we just emit in schema order for
+	// readability of hexdumps.
+	for _, vt := range sampleTypes {
+		p.bytesField(1, b.valueTypeMsg(vt))
+	}
+	for _, s := range samples {
+		b.addSample(s)
+	}
+	for i := range b.sampleMsgs {
+		p.bytesField(2, b.sampleMsgs[i].Bytes())
+	}
+	for i := range b.locMsgs {
+		p.bytesField(4, b.locMsgs[i].Bytes())
+	}
+	for i := range b.funcMsgs {
+		p.bytesField(5, b.funcMsgs[i].Bytes())
+	}
+	periodMsg := b.valueTypeMsg(periodType)
+	for _, s := range b.strtab {
+		p.stringField(6, s)
+	}
+	p.int64Field(9, time.Now().UnixNano())
+	p.int64Field(10, duration.Nanoseconds())
+	p.bytesField(11, periodMsg)
+	p.int64Field(12, period)
+
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	zw.Write(p.Bytes())
+	zw.Close()
+	return out.Bytes()
+}
+
+// ---- runtime record collection and delta arithmetic ----
+
+// stackKey builds a map key from a call stack.
+func stackKey(stack []uintptr) string {
+	buf := make([]byte, 8*len(stack))
+	for i, pc := range stack {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(pc))
+	}
+	return string(buf)
+}
+
+// memRecords snapshots the allocation profile (all records, including
+// freed stacks — deltas need both ends).
+func memRecords() []runtime.MemProfileRecord {
+	n, _ := runtime.MemProfile(nil, true)
+	for {
+		recs := make([]runtime.MemProfileRecord, n+64)
+		var ok bool
+		n, ok = runtime.MemProfile(recs, true)
+		if ok {
+			return recs[:n]
+		}
+	}
+}
+
+// heapDelta diffs two MemProfile snapshots into pprof samples with the
+// standard four heap dimensions. Sampled counts are un-sampled with the
+// same estimator runtime/pprof applies (scaleHeapSample), so the delta
+// is comparable with profiles written by the runtime itself.
+func heapDelta(before, after []runtime.MemProfileRecord) []sampleRec {
+	type vals struct{ allocObjs, allocBytes, inuseObjs, inuseBytes int64 }
+	stacks := make(map[string][]uintptr)
+	agg := make(map[string]*vals)
+	add := func(recs []runtime.MemProfileRecord, sign int64) {
+		for i := range recs {
+			r := &recs[i]
+			st := r.Stack()
+			k := stackKey(st)
+			v := agg[k]
+			if v == nil {
+				v = &vals{}
+				agg[k] = v
+				stacks[k] = append([]uintptr(nil), st...)
+			}
+			v.allocObjs += sign * r.AllocObjects
+			v.allocBytes += sign * r.AllocBytes
+			v.inuseObjs += sign * r.InUseObjects()
+			v.inuseBytes += sign * r.InUseBytes()
+		}
+	}
+	add(before, -1)
+	add(after, +1)
+
+	rate := int64(runtime.MemProfileRate)
+	var out []sampleRec
+	for k, v := range agg {
+		ao, ab := scaleHeapSample(v.allocObjs, v.allocBytes, rate)
+		io, ib := scaleHeapSample(v.inuseObjs, v.inuseBytes, rate)
+		if ao == 0 && ab == 0 && io == 0 && ib == 0 {
+			continue
+		}
+		out = append(out, sampleRec{stack: stacks[k], values: []int64{ao, ab, io, ib}})
+	}
+	return out
+}
+
+// scaleHeapSample unsamples heap counts: allocations are recorded with
+// probability 1-exp(-size/rate), so divide by it (the estimator
+// runtime/pprof uses).
+func scaleHeapSample(count, size, rate int64) (int64, int64) {
+	if count == 0 || size == 0 {
+		return 0, 0
+	}
+	if rate <= 1 {
+		return count, size
+	}
+	avg := float64(size) / float64(count)
+	scale := 1 / (1 - math.Exp(-avg/float64(rate)))
+	return int64(float64(count) * scale), int64(float64(size) * scale)
+}
+
+// blockRecords snapshots a contention profile — mutexProfile selects
+// runtime.MutexProfile, else runtime.BlockProfile.
+func blockRecords(mutexProfile bool) []runtime.BlockProfileRecord {
+	read := runtime.BlockProfile
+	if mutexProfile {
+		read = runtime.MutexProfile
+	}
+	n, _ := read(nil)
+	for {
+		recs := make([]runtime.BlockProfileRecord, n+64)
+		var ok bool
+		n, ok = read(recs)
+		if ok {
+			return recs[:n]
+		}
+	}
+}
+
+// contentionDelta diffs two contention snapshots into {contentions,
+// delay-cycles} samples. scale multiplies both values — the mutex
+// profile samples 1/fraction of events, so scale=fraction recovers an
+// estimate of the true totals. Delay stays in cycles: the runtime's
+// cycles-per-second calibration is not exported, and ranking contended
+// sites does not need absolute time.
+func contentionDelta(before, after []runtime.BlockProfileRecord, scale int64) []sampleRec {
+	type vals struct{ count, cycles int64 }
+	stacks := make(map[string][]uintptr)
+	agg := make(map[string]*vals)
+	add := func(recs []runtime.BlockProfileRecord, sign int64) {
+		for i := range recs {
+			r := &recs[i]
+			st := r.Stack()
+			k := stackKey(st)
+			v := agg[k]
+			if v == nil {
+				v = &vals{}
+				agg[k] = v
+				stacks[k] = append([]uintptr(nil), st...)
+			}
+			v.count += sign * r.Count
+			v.cycles += sign * r.Cycles
+		}
+	}
+	add(before, -1)
+	add(after, +1)
+	if scale < 1 {
+		scale = 1
+	}
+	var out []sampleRec
+	for k, v := range agg {
+		if v.count == 0 && v.cycles == 0 {
+			continue
+		}
+		out = append(out, sampleRec{stack: stacks[k], values: []int64{v.count * scale, v.cycles * scale}})
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Worker-pool metric family names. Every instrumented pool — zonedb's
+// parallel ingest, detect's extract/classify shards, the watch engine's
+// apply loop — records into the same families with a "pool" label, so
+// one dashboard answers "what are my workers doing" for the whole
+// system.
+const (
+	// PoolWorkersMetric is the configured worker count per pool.
+	PoolWorkersMetric = "pool_workers"
+	// PoolBusyMetric accumulates per-worker busy wall time in seconds.
+	// busy ÷ (wall × workers) is the pool's utilization; the gap to 1.0
+	// is time spent waiting — on the dispatcher, a queue, or a lock.
+	PoolBusyMetric = "pool_worker_busy_seconds_total"
+	// PoolItemsMetric counts items processed per worker; skew across
+	// workers is shard imbalance.
+	PoolItemsMetric = "pool_worker_items_total"
+	// PoolQueueMetric is the depth of each worker's input queue at the
+	// last dispatch. A persistently full queue means the worker is the
+	// bottleneck; a persistently empty one means the dispatcher is.
+	PoolQueueMetric = "pool_queue_depth"
+	// PoolEfficiencyMetric is the pool's parallel efficiency over its
+	// last round: mean worker utilization, i.e. Σbusy ÷ (wall × workers).
+	// 1.0 is linear scaling; 1/workers means the "parallel" pool is
+	// effectively serial.
+	PoolEfficiencyMetric = "pool_parallel_efficiency"
+)
+
+// PoolStats instruments one named worker pool. Construct per parallel
+// run with Registry.NewPoolStats; workers record busy time and item
+// counts through their WorkerStats handle, the dispatcher records queue
+// depths, and EndRound derives the round's parallel efficiency. All
+// methods are safe for concurrent use by the pool's goroutines.
+type PoolStats struct {
+	name    string
+	workers int
+
+	busy  []*FloatGauge
+	items []*Counter
+	queue []*Gauge
+	eff   *FloatGauge
+
+	// roundBusy accumulates this round's busy nanoseconds per worker,
+	// reset by EndRound, so efficiency reflects the round — not the
+	// process lifetime the cumulative families track.
+	roundBusy []atomic.Int64
+}
+
+// NewPoolStats registers (or reuses) the pool metric families and
+// returns a recorder for one pool of the given worker count. Metric
+// children are labeled {pool, worker} with workers numbered from 0.
+func (r *Registry) NewPoolStats(pool string, workers int) *PoolStats {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &PoolStats{
+		name:      pool,
+		workers:   workers,
+		busy:      make([]*FloatGauge, workers),
+		items:     make([]*Counter, workers),
+		queue:     make([]*Gauge, workers),
+		eff:       r.FloatGaugeVec(PoolEfficiencyMetric, "Parallel efficiency of the pool's last round (busy / (wall * workers)).", "pool").With(pool),
+		roundBusy: make([]atomic.Int64, workers),
+	}
+	r.GaugeVec(PoolWorkersMetric, "Configured worker count per pool.", "pool").With(pool).Set(int64(workers))
+	busyVec := r.FloatGaugeVec(PoolBusyMetric, "Cumulative per-worker busy time.", "pool", "worker")
+	itemsVec := r.CounterVec(PoolItemsMetric, "Items processed per worker.", "pool", "worker")
+	queueVec := r.GaugeVec(PoolQueueMetric, "Input-queue depth per worker at last dispatch.", "pool", "worker")
+	for i := 0; i < workers; i++ {
+		w := strconv.Itoa(i)
+		p.busy[i] = busyVec.With(pool, w)
+		p.items[i] = itemsVec.With(pool, w)
+		p.queue[i] = queueVec.With(pool, w)
+	}
+	return p
+}
+
+// Workers returns the pool's configured worker count.
+func (p *PoolStats) Workers() int { return p.workers }
+
+// WorkerStats is one worker's recording handle — cheap enough to use
+// per item on hot paths (two atomic adds per ObserveBusy).
+type WorkerStats struct {
+	p *PoolStats
+	i int
+}
+
+// Worker returns the handle for worker i (clamped into range).
+func (p *PoolStats) Worker(i int) WorkerStats {
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.workers {
+		i = p.workers - 1
+	}
+	return WorkerStats{p: p, i: i}
+}
+
+// ObserveBusy adds d to the worker's busy time — call with the wall
+// time spent actually processing an item, excluding queue waits.
+func (w WorkerStats) ObserveBusy(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	w.p.busy[w.i].Add(d.Seconds())
+	w.p.roundBusy[w.i].Add(int64(d))
+}
+
+// AddItems counts n items processed by the worker.
+func (w WorkerStats) AddItems(n int) { w.p.items[w.i].Add(n) }
+
+// SetQueueDepth records the depth of worker i's input queue, sampled by
+// the dispatcher at send time.
+func (p *PoolStats) SetQueueDepth(i, depth int) {
+	if i < 0 || i >= p.workers {
+		return
+	}
+	p.queue[i].Set(int64(depth))
+}
+
+// EndRound closes one parallel round of the given wall duration: it
+// publishes the round's parallel efficiency (Σ busy ÷ (wall × workers)),
+// resets the round accumulators, and returns the efficiency. Zero wall
+// returns 0 without publishing.
+func (p *PoolStats) EndRound(wall time.Duration) float64 {
+	var busy int64
+	for i := range p.roundBusy {
+		busy += p.roundBusy[i].Swap(0)
+	}
+	if wall <= 0 {
+		return 0
+	}
+	eff := (float64(busy) / float64(wall.Nanoseconds())) / float64(p.workers)
+	p.eff.Set(eff)
+	return eff
+}

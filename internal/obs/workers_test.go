@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolStatsRecording(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.NewPoolStats("test_pool", 2)
+
+	p.Worker(0).ObserveBusy(300 * time.Millisecond)
+	p.Worker(0).AddItems(3)
+	p.Worker(1).ObserveBusy(100 * time.Millisecond)
+	p.Worker(1).AddItems(1)
+	p.SetQueueDepth(0, 7)
+
+	// 400ms of busy across 2 workers over a 1s wall: 20% efficiency.
+	eff := p.EndRound(time.Second)
+	if eff < 0.199 || eff > 0.201 {
+		t.Fatalf("EndRound efficiency = %v, want 0.2", eff)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pool_workers{pool="test_pool"} 2`,
+		`pool_worker_busy_seconds_total{pool="test_pool",worker="0"} 0.3`,
+		`pool_worker_items_total{pool="test_pool",worker="0"} 3`,
+		`pool_worker_items_total{pool="test_pool",worker="1"} 1`,
+		`pool_queue_depth{pool="test_pool",worker="0"} 7`,
+		`pool_parallel_efficiency{pool="test_pool"} 0.2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// EndRound resets the round accumulators: a second round's efficiency
+// reflects only that round's busy time.
+func TestPoolStatsRoundReset(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.NewPoolStats("reset_pool", 4)
+	p.Worker(0).ObserveBusy(4 * time.Second)
+	if eff := p.EndRound(time.Second); eff != 1.0 {
+		t.Fatalf("round 1 efficiency = %v, want 1.0", eff)
+	}
+	// Nothing recorded in round 2.
+	if eff := p.EndRound(time.Second); eff != 0 {
+		t.Fatalf("round 2 efficiency = %v, want 0", eff)
+	}
+}
+
+func TestPoolStatsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.NewPoolStats("race_pool", 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := p.Worker(w)
+			for i := 0; i < 100; i++ {
+				ws.ObserveBusy(time.Microsecond)
+				ws.AddItems(1)
+				p.SetQueueDepth(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if eff := p.EndRound(time.Millisecond); eff <= 0 {
+		t.Fatalf("efficiency = %v, want > 0", eff)
+	}
+}
+
+// Out-of-range worker indices clamp instead of panicking — a pool
+// sized down between construction and use must not crash the daemon.
+func TestPoolStatsClamping(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.NewPoolStats("clamp_pool", 2)
+	p.Worker(-1).AddItems(1)
+	p.Worker(99).AddItems(1)
+	p.SetQueueDepth(-1, 5) // ignored
+	p.SetQueueDepth(99, 5) // ignored
+	var sb strings.Builder
+	reg.WriteTo(&sb)
+	if !strings.Contains(sb.String(), `pool_worker_items_total{pool="clamp_pool",worker="0"} 1`) {
+		t.Errorf("worker -1 did not clamp to 0:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `pool_worker_items_total{pool="clamp_pool",worker="1"} 1`) {
+		t.Errorf("worker 99 did not clamp to 1:\n%s", sb.String())
+	}
+}

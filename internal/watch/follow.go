@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dates"
 	"repro/internal/dzdbapi"
+	"repro/internal/obs"
 	"repro/internal/zonedb/delta"
 )
 
@@ -46,7 +47,15 @@ type Follower struct {
 	// instead of polling forever.
 	Once bool
 
+	// Obs, when set, instruments the apply loop as the one-worker
+	// "watch_apply" pool: busy time per applied day, days applied, and
+	// per-pass efficiency (apply time ÷ pass wall — the fraction of a
+	// pass spent applying rather than fetching or idle).
+	Obs *obs.Registry
+
 	Log *slog.Logger
+
+	pool *obs.PoolStats
 }
 
 func (f *Follower) pageSize() int {
@@ -67,8 +76,15 @@ func (f *Follower) poll() time.Duration {
 // up). Transport errors that survive the client's own retry policy are
 // logged and retried at the poll cadence; in Once mode they abort.
 func (f *Follower) Run(ctx context.Context) error {
+	if f.Obs != nil && f.pool == nil {
+		f.pool = f.Obs.NewPoolStats("watch_apply", 1)
+	}
 	for {
+		passStart := time.Now()
 		caughtUp, closeDay, err := f.sync(ctx)
+		if f.pool != nil {
+			f.pool.EndRound(time.Since(passStart))
+		}
 		if f.OnPass != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			f.OnPass(f.Engine.LastDay(), closeDay, err)
 		}
@@ -141,7 +157,13 @@ func (f *Follower) apply(dd *delta.DayDelta, closeDay dates.Day) error {
 	if last := f.Engine.LastDay(); last != dates.None && dd.Day <= last {
 		return nil // overlap from a retried or rewound page; already applied
 	}
+	start := time.Now()
 	alerts, err := f.Engine.ApplyDay(dd)
+	if f.pool != nil {
+		w := f.pool.Worker(0)
+		w.ObserveBusy(time.Since(start))
+		w.AddItems(1)
+	}
 	if err != nil {
 		if errors.Is(err, ErrStale) {
 			return nil

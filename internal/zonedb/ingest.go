@@ -80,6 +80,9 @@ type Ingester struct {
 	// IngestAll, counts quarantined snapshots across all of them so the
 	// MaxQuarantine budget is global, not per worker.
 	sharedQ *int64
+	// parallelEff is the last parallel round's efficiency (see
+	// ParallelEfficiency), recorded when Obs is set.
+	parallelEff float64
 }
 
 type snapState struct {
@@ -183,6 +186,12 @@ func (r QuarantineReport) String() string {
 func (ing *Ingester) Quarantine() QuarantineReport {
 	return QuarantineReport{Entries: ing.quarantined}
 }
+
+// ParallelEfficiency reports the last parallel IngestAll round's
+// efficiency — Σ worker-busy time ÷ (wall × workers), so 1.0 is linear
+// scaling and 1/workers is a serial run wearing a parallel costume.
+// Zero until a parallel ingest with Obs set has completed.
+func (ing *Ingester) ParallelEfficiency() float64 { return ing.parallelEff }
 
 // reason maps a validation error onto its metric/report label.
 func reason(err error) string {

@@ -8,10 +8,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
 	"repro/internal/dnszone"
+	"repro/internal/obs"
 )
 
 // SnapshotSource yields snapshots in the order they should be ingested.
@@ -127,6 +129,12 @@ func zoneWorker(zone dnsname.Name, workers int) int {
 // ingestParallel shards src across a zone-affine worker pool. The parent
 // ingester ends up holding the merged database, per-zone history, and
 // quarantine report, exactly as if it had ingested serially.
+//
+// When Obs is set, the pool records into the pool_* worker families as
+// "zonedb_ingest": per-worker busy time (the wall time inside
+// addSnapshot, excluding channel waits), items and queue depth per
+// worker, and the round's parallel efficiency — the observable that
+// shows whether these workers compute or wait.
 func (ing *Ingester) ingestParallel(src SnapshotSource, workers int) error {
 	type item struct {
 		snap *dnszone.Snapshot
@@ -135,6 +143,12 @@ func (ing *Ingester) ingestParallel(src SnapshotSource, workers int) error {
 	qn := int64(len(ing.quarantined))
 	ing.sharedQ = &qn
 	defer func() { ing.sharedQ = nil }()
+
+	var pool *obs.PoolStats
+	if ing.Obs != nil {
+		pool = ing.Obs.NewPoolStats("zonedb_ingest", workers)
+	}
+	roundStart := time.Now()
 
 	children := make([]*Ingester, workers)
 	chans := make([]chan item, workers)
@@ -156,7 +170,14 @@ func (ing *Ingester) ingestParallel(src SnapshotSource, workers int) error {
 				if errs[i] != nil {
 					continue // drain the channel after a failure
 				}
-				if err := children[i].addSnapshot(it.snap, it.name); err != nil {
+				start := time.Now()
+				err := children[i].addSnapshot(it.snap, it.name)
+				if pool != nil {
+					w := pool.Worker(i)
+					w.ObserveBusy(time.Since(start))
+					w.AddItems(1)
+				}
+				if err != nil {
 					errs[i] = fmt.Errorf("%s: %w", it.name, err)
 					failed.Store(true)
 				}
@@ -178,12 +199,19 @@ func (ing *Ingester) ingestParallel(src SnapshotSource, workers int) error {
 			}
 			continue
 		}
-		chans[zoneWorker(snap.Zone, workers)] <- item{snap: snap, name: name}
+		w := zoneWorker(snap.Zone, workers)
+		chans[w] <- item{snap: snap, name: name}
+		if pool != nil {
+			pool.SetQueueDepth(w, len(chans[w]))
+		}
 	}
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
+	if pool != nil {
+		ing.parallelEff = pool.EndRound(time.Since(roundStart))
+	}
 
 	if dispatchErr != nil {
 		return dispatchErr
