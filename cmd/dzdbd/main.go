@@ -84,6 +84,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "segment-store directory; sealed epochs persist here and warm-boot the next start")
 	runDetect := flag.Bool("detect", true, "run the detection pipeline once at startup so /metrics reports stage timings")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before the listener closes on shutdown")
+	cacheSize := flag.Int("cache-size", 64, "response cache budget in MiB (0 disables body caching; ETag/304 stays on)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client token-bucket rate limit in req/s (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent request cap; excess requests are shed with 503 (0 disables)")
 	version := flag.Bool("version", false, "print build information and exit")
 	profFlags := daemon.RegisterProfFlags(flag.CommandLine)
 	flag.Parse()
@@ -140,8 +143,24 @@ func main() {
 
 	api := dzdbapi.NewWithRegistry(db, reg)
 	api.Log = logger
+	api.SetCacheBytes(int64(*cacheSize) << 20)
+	api.SetRateLimit(*rateLimit, 0)
+	api.SetMaxInflight(*maxInflight)
 	mux := app.ObservabilityMux()
 	mux.Handle("/", api)
+
+	// A server pinned at its concurrency cap is not ready for more
+	// traffic; readiness flips so a balancer drains around it while
+	// the shed path keeps answering 503+Retry-After.
+	if *maxInflight > 0 {
+		app.Health.RegisterFunc("overload", health.Readiness, func() error {
+			ss := api.ServeStats()
+			if ss.Inflight >= ss.MaxInflight {
+				return fmt.Errorf("at concurrency cap (%d inflight)", ss.Inflight)
+			}
+			return nil
+		})
+	}
 
 	// Serving SLO: 99% of v1 requests under 250ms, tracked over 5m/1h
 	// burn windows across every versioned route's latency histogram.
@@ -165,6 +184,21 @@ func main() {
 			rows = append(rows, daemon.KV{K: "archive", V: *load})
 		}
 		return rows
+	})
+
+	app.StatusSection("serving", func() []daemon.KV {
+		cs := api.CacheStats()
+		ss := api.ServeStats()
+		return []daemon.KV{
+			{K: "cache_entries", V: fmt.Sprintf("%d", cs.Entries)},
+			{K: "cache_bytes", V: fmt.Sprintf("%d of %d", cs.Bytes, cs.Capacity)},
+			{K: "cache_hit_ratio", V: fmt.Sprintf("%.3f", cs.HitRatio())},
+			{K: "cache_epoch", V: fmt.Sprintf("%d", cs.Epoch)},
+			{K: "inflight", V: fmt.Sprintf("%d (cap %d)", ss.Inflight, ss.MaxInflight)},
+			{K: "push_streams", V: fmt.Sprintf("%d", ss.ActiveStreams)},
+			{K: "shed_rate_limited", V: fmt.Sprintf("%d", ss.RateLimited)},
+			{K: "shed_overloaded", V: fmt.Sprintf("%d", ss.Overloaded)},
+		}
 	})
 
 	if st != nil {

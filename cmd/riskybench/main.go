@@ -88,6 +88,10 @@ type workloadResult struct {
 	P50Ns int64 `json:"p50_ns,omitempty"`
 	P95Ns int64 `json:"p95_ns,omitempty"`
 	P99Ns int64 `json:"p99_ns,omitempty"`
+	// CacheHitRatio is recorded by serve-load: the fraction of cacheable
+	// /v1 requests the server answered from its epoch-keyed response
+	// cache (or by 304 revalidation) instead of running the handler.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 	// Workers, ParallelEfficiency, and WorkerUtilization are recorded
 	// by the ingest-scaling sweep: efficiency is speedup over the
 	// 1-worker run ÷ workers, utilization is busy ÷ (wall × workers)
@@ -491,9 +495,11 @@ func findWorkload(ws []workloadResult, name string) int64 {
 const maxRegression = 1.25
 
 // checkBaseline compares rep against a committed report. Every workload
-// present in both is logged; only ingest*/classify* regressions beyond
-// maxRegression fail the check (simulate and detect wobble with the
-// whole pipeline and are tracked, not gated).
+// present in both is logged; ingest*/classify* regressions beyond
+// maxRegression in ns/op fail the check, as does a serve-load p99
+// regression beyond the same bound (the serving-latency guardrail for
+// the response cache). simulate and detect wobble with the whole
+// pipeline and are tracked, not gated.
 func checkBaseline(rep report, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -503,23 +509,32 @@ func checkBaseline(rep report, path string) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	baseNs := make(map[string]int64, len(base.Workloads))
+	baseline := make(map[string]workloadResult, len(base.Workloads))
 	for _, w := range base.Workloads {
-		baseNs[w.Name] = w.NsPerOp
+		baseline[w.Name] = w
 	}
 	var failures []string
 	for _, w := range rep.Workloads {
-		b, ok := baseNs[w.Name]
-		if !ok || b <= 0 {
+		b, ok := baseline[w.Name]
+		if !ok || b.NsPerOp <= 0 {
 			continue
 		}
-		ratio := float64(w.NsPerOp) / float64(b)
+		ratio := float64(w.NsPerOp) / float64(b.NsPerOp)
 		logger.Info("baseline compare", "workload", w.Name,
-			"baseline_ns", b, "ns", w.NsPerOp, "ratio", fmt.Sprintf("%.2f", ratio))
+			"baseline_ns", b.NsPerOp, "ns", w.NsPerOp, "ratio", fmt.Sprintf("%.2f", ratio))
 		guarded := strings.HasPrefix(w.Name, "ingest") || strings.HasPrefix(w.Name, "classify")
 		if guarded && ratio > maxRegression {
 			failures = append(failures,
 				fmt.Sprintf("%s: %.0f%% of baseline ns/op", w.Name, 100*ratio))
+		}
+		if w.Name == "serve-load" && b.P99Ns > 0 && w.P99Ns > 0 {
+			p99Ratio := float64(w.P99Ns) / float64(b.P99Ns)
+			logger.Info("baseline compare (p99)", "workload", w.Name,
+				"baseline_p99_ns", b.P99Ns, "p99_ns", w.P99Ns, "ratio", fmt.Sprintf("%.2f", p99Ratio))
+			if p99Ratio > maxRegression {
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f%% of baseline p99", w.Name, 100*p99Ratio))
+			}
 		}
 	}
 	if len(failures) > 0 {
@@ -542,7 +557,8 @@ const (
 // are requests; P50/P95/P99 are per-request latencies pooled across
 // runs — the serving numbers the SLO layer tracks in production.
 func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
-	srv := httptest.NewServer(dzdbapi.New(db))
+	api := dzdbapi.New(db)
+	srv := httptest.NewServer(api)
 	defer srv.Close()
 
 	// A bounded sample of names to query, deterministic given the seed.
@@ -609,7 +625,9 @@ func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
 	res.P50Ns = percentileNs(samples, 0.50)
 	res.P95Ns = percentileNs(samples, 0.95)
 	res.P99Ns = percentileNs(samples, 0.99)
-	logger.Info("serving percentiles", "p50_ns", res.P50Ns, "p95_ns", res.P95Ns, "p99_ns", res.P99Ns)
+	res.CacheHitRatio = api.CacheStats().HitRatio()
+	logger.Info("serving percentiles", "p50_ns", res.P50Ns, "p95_ns", res.P95Ns, "p99_ns", res.P99Ns,
+		"cache_hit_ratio", fmt.Sprintf("%.3f", res.CacheHitRatio))
 	return res
 }
 

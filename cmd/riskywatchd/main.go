@@ -75,6 +75,8 @@ func main() {
 	once := flag.Bool("once", false, "exit after the first full catch-up instead of tailing")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty = disabled)")
 	page := flag.Int("page", 365, "days per feed page")
+	feedMode := flag.String("feed-mode", watch.ModePoll, "feed transport: poll, longpoll, or sse")
+	feedWait := flag.Duration("feed-wait", 30*time.Second, "server-side hold per long-poll request (feed-mode=longpoll)")
 	maxLag := flag.Int("max-lag-days", 2, "readiness threshold: max days the engine may trail the feed's close day")
 	maxCkptAge := flag.Duration("max-checkpoint-age", 5*time.Minute, "readiness threshold: max checkpoint age (with -checkpoint)")
 	drain := flag.Duration("drain", time.Second, "how long readiness reports 503 before shutdown proceeds")
@@ -86,6 +88,11 @@ func main() {
 	defer app.Close()
 	if (*archive == "") == (*feed == "") {
 		app.Fatal("flags", errors.New("exactly one of -archive or -feed is required"))
+	}
+	switch *feedMode {
+	case watch.ModePoll, watch.ModeLongPoll, watch.ModeSSE:
+	default:
+		app.Fatal("flags", fmt.Errorf("-feed-mode must be poll, longpoll, or sse (got %q)", *feedMode))
 	}
 	if err := app.StartProfiler(profFlags); err != nil {
 		app.Fatal("starting profiler", err)
@@ -99,6 +106,8 @@ func main() {
 		ckptPath: *ckptPath,
 		ckptIvl:  *ckptEvery,
 		maxLag:   *maxLag,
+		feedMode: *feedMode,
+		feedWait: *feedWait,
 
 		lag:     app.Reg.Gauge("watch_feed_lag_days", "Days between the feed's close day and the last day applied."),
 		ckptAge: app.Reg.Gauge("watch_checkpoint_age_seconds", "Seconds since the last checkpoint was written."),
@@ -150,7 +159,9 @@ func main() {
 			rows = append(rows, daemon.KV{K: "feed_close_day", V: cd.String()})
 		}
 		if w.breaker != nil {
-			rows = append(rows, daemon.KV{K: "feed_breaker", V: w.breaker.State().String()})
+			rows = append(rows,
+				daemon.KV{K: "feed_mode", V: w.feedMode},
+				daemon.KV{K: "feed_breaker", V: w.breaker.State().String()})
 		}
 		if w.ckptPath != "" {
 			rows = append(rows,
@@ -273,6 +284,8 @@ type watcher struct {
 	ckptIvl  time.Duration
 	lastCkpt atomic.Int64 // unix nanos of the last checkpoint write
 	maxLag   int
+	feedMode string        // feed transport (watch.Mode*)
+	feedWait time.Duration // long-poll hold
 
 	// lastDay/seq/closeDay mirror engine and feed state for concurrent
 	// readers (/statusz, health funcs); the engine itself is owned by the
@@ -424,6 +437,8 @@ func (w *watcher) runFeed(ctx context.Context, base string, page int, poll time.
 		PageSize:  page,
 		Poll:      poll,
 		Once:      once,
+		Mode:      w.feedMode,
+		Wait:      w.feedWait,
 		Obs:       w.app.Reg,
 		Log:       w.app.Log,
 	}

@@ -1,0 +1,133 @@
+package dzdbapi
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/dnsname"
+)
+
+// topNSKeep bounds how many nameservers the Adopt-time aggregate
+// retains; /v1/top/nameservers caps ?limit= at this.
+const topNSKeep = 100
+
+// defaultTopNSLimit is the page size when ?limit= is absent.
+const defaultTopNSLimit = 25
+
+// TopNameserver is one row of the exposure leaderboard: a nameserver
+// ranked by how many domains ever delegated to it (the paper's degree
+// metric for sacrificial-name candidates).
+type TopNameserver struct {
+	Nameserver string `json:"nameserver"`
+	Domains    int    `json:"domains"`
+	DomainDays int    `json:"domain_days"`
+}
+
+// TopNameserversResponse is the /v1/top/nameservers payload.
+type TopNameserversResponse struct {
+	Nameservers []TopNameserver `json:"nameservers"`
+}
+
+// aggregates holds the precomputed hot answers for one epoch: the
+// stats payload, the sorted zone list, and the top-nameserver table.
+// They are recomputed once per publish (the OnPublish hook) so the
+// most-hit endpoints become O(1) pointer loads instead of full-table
+// walks per request.
+type aggregates struct {
+	epoch uint64
+	stats StatsResponse
+	zones []dnsname.Name
+	topNS []TopNameserver
+}
+
+// computeAggregates walks st once and builds the aggregate set for
+// epoch. st is normally the freshly published View; the walk is
+// O(nameservers + edges), which is the same cost one uncached
+// /v1/stats request used to pay.
+func computeAggregates(epoch uint64, st store) *aggregates {
+	a := &aggregates{epoch: epoch}
+	a.zones = st.Zones()
+	zs := make([]string, len(a.zones))
+	for i, z := range a.zones {
+		zs[i] = string(z)
+	}
+	a.stats = StatsResponse{
+		Domains:     st.NumDomains(),
+		Nameservers: st.NumNameservers(),
+		Zones:       zs,
+	}
+	a.topNS = computeTopNS(st, topNSKeep)
+	return a
+}
+
+// computeTopNS ranks every nameserver by delegated-domain count
+// (domain-days breaks ties), keeping the top keep rows.
+func computeTopNS(st store, keep int) []TopNameserver {
+	var rows []TopNameserver
+	st.Nameservers(func(ns dnsname.Name) bool {
+		row := TopNameserver{Nameserver: string(ns)}
+		for _, e := range st.EdgesOf(ns) {
+			row.Domains++
+			if sp := st.EdgeSpans(e.Domain, ns); sp != nil {
+				row.DomainDays += sp.TotalDays()
+			}
+		}
+		rows = append(rows, row)
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Domains != rows[j].Domains {
+			return rows[i].Domains > rows[j].Domains
+		}
+		if rows[i].DomainDays != rows[j].DomainDays {
+			return rows[i].DomainDays > rows[j].DomainDays
+		}
+		return rows[i].Nameserver < rows[j].Nameserver
+	})
+	if len(rows) > keep {
+		rows = rows[:keep]
+	}
+	return rows
+}
+
+// aggregatesFor returns the precomputed set when it matches the
+// epoch the request pinned, or nil — the caller then computes from its
+// own View, which keeps reads consistent during an Adopt race.
+func (s *Server) aggregatesFor(epoch uint64) *aggregates {
+	a := s.agg.Load()
+	if a == nil || a.epoch != epoch {
+		return nil
+	}
+	return a
+}
+
+func (s *Server) handleTopNameservers(w http.ResponseWriter, r *http.Request, st store) {
+	limit := defaultTopNSLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidLimit, "invalid limit %q", raw)
+			return
+		}
+		if v > 0 {
+			limit = v
+		}
+	}
+	if limit > topNSKeep {
+		limit = topNSKeep
+	}
+	var rows []TopNameserver
+	if a := s.aggregatesFor(storeEpoch(st)); a != nil {
+		rows = a.topNS
+	} else {
+		rows = computeTopNS(st, limit)
+	}
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	if rows == nil {
+		rows = []TopNameserver{}
+	}
+	writeJSON(w, http.StatusOK, TopNameserversResponse{Nameservers: rows})
+}

@@ -46,6 +46,13 @@ type Client struct {
 	// calls fail fast with faults.ErrOpen instead of hammering a dead
 	// server.
 	Breaker *faults.Breaker
+	// Conditional, when set, makes every JSON GET a conditional
+	// request: the cache stores the ETag and raw body per canonical
+	// path, sends If-None-Match, and decodes the cached body again on
+	// 304 — so a caught-up poller revalidates for free instead of
+	// re-downloading identical representations. Create with
+	// NewCondCache.
+	Conditional *CondCache
 	// Tracer, when set, opens a client span per call. Whether or not it
 	// is set, the active trace context in ctx is injected into every
 	// request as a traceparent header, so server-side logs and metrics
@@ -64,6 +71,9 @@ type APIError struct {
 	// Body is a truncated snippet of a non-JSON error payload (an HTML
 	// error page from a proxy, a panic trace), kept for diagnostics.
 	Body string
+	// RetryAfter is the server's backoff guidance from a Retry-After
+	// header (shed 429/503 responses carry one); zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -80,18 +90,26 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 2 * time.Second}
 }
 
+// maxRetryAfterWait caps how long the client honors a Retry-After
+// hint before the next attempt, so a hostile or confused server cannot
+// park a caller indefinitely.
+const maxRetryAfterWait = 5 * time.Second
+
 // retryableResponse classifies errors for the retry policy: server-side
-// (5xx) and transport failures may clear up; client-side (4xx) errors
-// will repeat identically and are permanent.
+// (5xx), shed 429s, and transport failures may clear up; other
+// client-side (4xx) errors will repeat identically and are permanent.
 func retryableResponse(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Status >= 500
+		return ae.Status >= 500 || ae.Status == http.StatusTooManyRequests
 	}
 	return true
 }
 
-// do runs fn through the breaker and retry policy, if configured.
+// do runs fn through the breaker and retry policy, if configured. When
+// a response carries Retry-After (a shed 429/503), the client sleeps
+// out the server's guidance (capped at maxRetryAfterWait) before the
+// policy's own backoff schedules the next attempt.
 func (c *Client) do(ctx context.Context, fn func(ctx context.Context) error) error {
 	run := fn
 	if c.Breaker != nil {
@@ -104,7 +122,21 @@ func (c *Client) do(ctx context.Context, fn func(ctx context.Context) error) err
 	if p.Retryable == nil {
 		p.Retryable = retryableResponse
 	}
-	return faults.Retry(ctx, p, run)
+	withHint := func(ctx context.Context) error {
+		err := run(ctx)
+		var ae *APIError
+		if err != nil && errors.As(err, &ae) && ae.RetryAfter > 0 && retryableResponse(err) {
+			wait := ae.RetryAfter
+			if wait > maxRetryAfterWait {
+				wait = maxRetryAfterWait
+			}
+			if serr := faults.Sleep(ctx, wait); serr != nil {
+				return serr
+			}
+		}
+		return err
+	}
+	return faults.Retry(ctx, p, withHint)
 }
 
 // drain consumes any unread remainder of the body before closing it so
@@ -120,43 +152,111 @@ func drain(body io.ReadCloser) {
 // for one release. Anything else (a proxy's HTML page) is preserved as a
 // truncated snippet.
 func errorFromResponse(resp *http.Response) error {
+	retryAfter := parseRetryAfter(resp)
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
 	var ae apiError
 	if err := json.Unmarshal(raw, &ae); err == nil && ae.Error.Message != "" {
-		return &APIError{Status: resp.StatusCode, Msg: ae.Error.Message, Code: ae.Error.Code}
+		return &APIError{Status: resp.StatusCode, Msg: ae.Error.Message, Code: ae.Error.Code, RetryAfter: retryAfter}
 	}
 	var legacy struct {
 		Error string `json:"error"`
 	}
 	if err := json.Unmarshal(raw, &legacy); err == nil && legacy.Error != "" {
-		return &APIError{Status: resp.StatusCode, Msg: legacy.Error}
+		return &APIError{Status: resp.StatusCode, Msg: legacy.Error, RetryAfter: retryAfter}
 	}
 	s := strings.TrimSpace(string(raw))
 	if len(s) > errSnippet {
 		s = s[:errSnippet] + "..."
 	}
-	return &APIError{Status: resp.StatusCode, Msg: resp.Status, Body: s}
+	return &APIError{Status: resp.StatusCode, Msg: resp.Status, Body: s, RetryAfter: retryAfter}
 }
 
-func (c *Client) getJSON(ctx context.Context, op, path string, out any) (err error) {
+// parseRetryAfter reads backoff guidance from a Retry-After header,
+// in either delta-seconds or HTTP-date form.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(raw); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(raw); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
+	return c.getJSONClient(ctx, op, path, out, nil)
+}
+
+// getJSONClient is getJSON with an explicit http.Client, which the
+// long-poll path uses to outlive the default 2s request timeout. When
+// a CondCache is attached the request goes out conditional: the cached
+// ETag rides If-None-Match, and a 304 decodes the cached raw body
+// instead of a fresh download.
+func (c *Client) getJSONClient(ctx context.Context, op, path string, out any, hc *http.Client) (err error) {
 	ctx, sp := c.Tracer.Start(ctx, "dzdbapi.client."+op)
 	defer func() { sp.SetError(err); sp.End() }()
+	if hc == nil {
+		hc = c.httpClient()
+	}
 	return c.do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
 			return faults.Permanent(err)
 		}
 		trace.Inject(ctx, req.Header)
-		resp, err := c.httpClient().Do(req)
+		var etag string
+		var cached []byte
+		if c.Conditional != nil {
+			if e, body, ok := c.Conditional.lookup(path); ok {
+				etag, cached = e, body
+				req.Header.Set("If-None-Match", e)
+			}
+		}
+		resp, err := hc.Do(req)
 		if err != nil {
 			return err
 		}
 		defer drain(resp.Body)
+		if resp.StatusCode == http.StatusNotModified && etag != "" {
+			c.Conditional.note(true)
+			return json.Unmarshal(cached, out)
+		}
 		if resp.StatusCode != http.StatusOK {
 			return errorFromResponse(resp)
 		}
+		if c.Conditional != nil {
+			c.Conditional.note(false)
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, maxJSONBody))
+			if err != nil {
+				return err
+			}
+			if tag := resp.Header.Get("ETag"); tag != "" {
+				c.Conditional.store(path, tag, raw)
+			}
+			return json.Unmarshal(raw, out)
+		}
 		return json.NewDecoder(io.LimitReader(resp.Body, maxJSONBody)).Decode(out)
 	})
+}
+
+// TopNameservers fetches the precomputed exposure leaderboard (limit
+// 0 uses the server default).
+func (c *Client) TopNameservers(ctx context.Context, limit int) (*TopNameserversResponse, error) {
+	path := "/v1/top/nameservers"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out TopNameserversResponse
+	if err := c.getJSON(ctx, "top_nameservers", path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Stats fetches database-wide counts.

@@ -1,0 +1,93 @@
+package dzdbapi
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultCondEntries bounds NewCondCache(0).
+const defaultCondEntries = 256
+
+// CondCache is the client-side conditional-request cache: per request
+// path it remembers the last 200 response's ETag and raw body. With
+// one attached (Client.Conditional), every JSON GET sends
+// If-None-Match and a 304 is answered from the stored body — the
+// server validates against the epoch without recomputing or resending
+// anything. Entries are LRU-bounded by count. Safe for concurrent use.
+type CondCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type condEntry struct {
+	key  string
+	etag string
+	body []byte
+}
+
+// NewCondCache builds a conditional cache holding up to maxEntries
+// responses (<= 0 uses a 256-entry default).
+func NewCondCache(maxEntries int) *CondCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCondEntries
+	}
+	return &CondCache{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// lookup returns the stored validator and body for key.
+func (c *CondCache) lookup(key string) (etag string, body []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		return "", nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(condEntry)
+	return e.etag, e.body, true
+}
+
+// store records a fresh 200 representation for key.
+func (c *CondCache) store(key, etag string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = condEntry{key: key, etag: etag, body: body}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(condEntry{key: key, etag: etag, body: body})
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(condEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+// note records whether a request was served by revalidation (304 from
+// the stored body) or needed a full download.
+func (c *CondCache) note(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns how many requests were served via 304 revalidation
+// versus full downloads.
+func (c *CondCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

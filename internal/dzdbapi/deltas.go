@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
@@ -113,26 +114,52 @@ func (c *deltaCache) get(v *zonedb.View) (*delta.Index, error) {
 //
 // Parameters: ?from=YYYY-MM-DD starts the window (clamped to the first
 // changed day); ?cursor= resumes a paginated walk; ?limit= caps the
-// number of days per page (0 = the whole remaining window).
-func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	v := s.db.View()
-	if !v.Closed() {
+// number of days per page (0 = the whole remaining window). Two push
+// modes replace polling: Accept: text/event-stream upgrades to an SSE
+// stream, and ?wait=30s long-polls an empty window until a publish.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request, st store) {
+	if wantsSSE(r) {
+		s.handleDeltasSSE(w, r)
+		return
+	}
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		wait, err := time.ParseDuration(raw)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidWait,
+				"invalid wait %q (want a duration like 30s)", raw)
+			return
+		}
+		s.handleDeltasLongPoll(w, r, wait)
+		return
+	}
+	v, ok := st.(*zonedb.View)
+	if !ok || !v.Closed() {
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			"delta feed requires a sealed database (no Close recorded)")
 		return
 	}
+	resp, ok := s.buildDeltaPage(w, r, v)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildDeltaPage resolves one page of the feed against a sealed view.
+// ok=false means an error response has already been written.
+func (s *Server) buildDeltaPage(w http.ResponseWriter, r *http.Request, v *zonedb.View) (*DeltasResponse, bool) {
 	idx, err := s.deltas.get(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "building delta index: %v", err)
-		return
+		return nil, false
 	}
-	resp := DeltasResponse{Epoch: idx.Epoch(), FirstDay: idx.First(), CloseDay: idx.Last()}
+	resp := &DeltasResponse{Epoch: idx.Epoch(), FirstDay: idx.First(), CloseDay: idx.Last()}
 	from := idx.First()
 	if raw := r.URL.Query().Get("from"); raw != "" {
 		d, err := dates.Parse(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidDate, "invalid from %q (want YYYY-MM-DD)", raw)
-			return
+			return nil, false
 		}
 		if d > from {
 			from = d
@@ -141,20 +168,19 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	if from == dates.None || from > idx.Last() {
 		// Nothing (or nothing yet) in the window: an empty final page.
 		resp.Deltas = []DayDeltaJSON{}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, true
 	}
 	n := int(idx.Last()-from) + 1
 	start, end, next, ok := pageWindow(w, r, n, func(i int) string { return (from + dates.Day(i)).String() })
 	if !ok {
-		return
+		return nil, false
 	}
 	resp.Deltas = make([]DayDeltaJSON, 0, end-start)
 	for i := start; i < end; i++ {
 		resp.Deltas = append(resp.Deltas, dayDeltaJSON(idx.Day(from+dates.Day(i))))
 	}
 	resp.NextCursor = next
-	writeJSON(w, http.StatusOK, resp)
+	return resp, true
 }
 
 // Deltas fetches one page of the per-day change feed. from bounds the

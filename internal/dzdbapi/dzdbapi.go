@@ -10,12 +10,29 @@
 //	GET /v1/domains/{name}             registration spans + nameserver history
 //	GET /v1/nameservers/{name}?cursor=&limit=
 //	                                   first-seen + delegated domains (paginated)
+//	GET /v1/top/nameservers?limit=     precomputed exposure leaderboard
 //	GET /v1/zones/{zone}/snapshot?date=YYYY-MM-DD   master-file snapshot
 //	GET /v1/deltas?from=&cursor=&limit=             per-day change feed (paginated)
 //
+// # Serving layer
+//
+// Every /v1 response derives a strong ETag from the pinned View's
+// epoch plus the canonical request parameters — the epoch is the
+// validator, so If-None-Match is answered with 304 before the handler
+// runs, and an in-process LRU keyed by (epoch, route, params) serves
+// hot bodies without recompute. Publishing a new View (Close, Adopt)
+// invalidates the cache wholesale and refreshes precomputed hot
+// aggregates (stats, zone list, top-nameserver table).
+//
+// The delta feed pushes: GET /v1/deltas with Accept: text/event-stream
+// streams "deltas" SSE events as epochs publish, and ?wait=30s
+// long-polls — an empty window parks until a publish or the wait
+// expires. Per-client token-bucket rate limits and a concurrency cap
+// shed excess load with the v1 error envelope plus Retry-After.
+//
 // The unversioned legacy routes remain mounted as thin aliases for one
 // release; they answer identically (modulo the /v1/zones envelope) and
-// carry Deprecation and Link: rel="successor-version" headers.
+// carry Deprecation, Sunset, and Link: rel="successor-version" headers.
 //
 // Pagination: list endpoints accept ?limit= (page size; absent or 0
 // returns everything, preserving legacy behaviour) and ?cursor= (opaque
@@ -43,6 +60,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/dnsname"
@@ -57,7 +76,12 @@ import (
 const (
 	MetricRequests       = "dzdb_http_requests_total"
 	MetricRequestSeconds = "dzdb_http_request_seconds"
+	MetricLegacyRequests = "dzdb_legacy_requests_total"
 )
+
+// legacySunset is the RFC 8594 removal date advertised on the
+// unversioned legacy aliases (also documented in README "API v1").
+const legacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
 
 // Span is one presence interval in API form.
 type Span struct {
@@ -136,6 +160,7 @@ type store interface {
 	Zones() []dnsname.Name
 	NumDomains() int
 	NumNameservers() int
+	Nameservers(fn func(ns dnsname.Name) bool)
 	DomainSpans(domain dnsname.Name) *interval.Set
 	NSHistory(domain dnsname.Name) map[dnsname.Name]*interval.Set
 	NSFirstSeen(ns dnsname.Name) dates.Day
@@ -156,6 +181,32 @@ type Server struct {
 	latency  *obs.HistogramVec // MetricRequestSeconds{route}
 	deltas   deltaCache        // per-epoch delta index for /v1/deltas
 
+	// Serving layer: the epoch-keyed response cache, the Adopt-time
+	// aggregates, and the publish broadcast the push paths park on.
+	cache  *respCache
+	agg    atomic.Pointer[aggregates]
+	signal *epochSignal
+
+	// Protection: per-client token buckets and the concurrency cap.
+	limits      *limiter
+	maxInflight int64
+	inflight    atomic.Int64
+	streams     atomic.Int64
+	shedRateN   atomic.Uint64
+	shedLoadN   atomic.Uint64
+
+	legacy        *obs.CounterVec // MetricLegacyRequests{route}
+	cacheReqs     *obs.CounterVec // MetricCacheRequests{route,outcome}
+	cacheEvict    *obs.Counter
+	cacheEntries  *obs.Gauge
+	cacheBytes    *obs.Gauge
+	cacheRatio    *obs.FloatGauge
+	shedTotal     *obs.CounterVec // MetricShed{route,code}
+	inflightGauge *obs.Gauge
+	pushActive    *obs.Gauge
+	pushEvents    *obs.Counter
+	pushDropped   *obs.Counter
+
 	// Log, when non-nil, receives one structured record per request,
 	// carrying the request's trace ID when the client sent a
 	// traceparent header. Set before serving.
@@ -165,6 +216,10 @@ type Server struct {
 	// (a malformed or absent header starts a fresh root). Set before
 	// serving.
 	Tracer *trace.Tracer
+	// PushWriteTimeout bounds how long one SSE event write may block on
+	// a slow consumer before the connection is shed (default 5s). Set
+	// before serving.
+	PushWriteTimeout time.Duration
 }
 
 // New builds the API server for db with its own private metrics
@@ -181,31 +236,101 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 		"API requests by route and status class.", "route", "class")
 	s.latency = reg.HistogramVec(MetricRequestSeconds,
 		"API request latency by route.", nil, "route")
+	s.legacy = reg.CounterVec(MetricLegacyRequests,
+		"Requests to deprecated unversioned legacy routes.", "route")
+	s.cacheReqs = reg.CounterVec(MetricCacheRequests,
+		"Response cache lookups by route and outcome (hit, miss, revalidated).", "route", "outcome")
+	s.cacheEvict = reg.Counter(MetricCacheEvictions, "Response cache LRU evictions.")
+	s.cacheEntries = reg.Gauge(MetricCacheEntries, "Response cache resident entries.")
+	s.cacheBytes = reg.Gauge(MetricCacheBytes, "Response cache resident body bytes.")
+	s.cacheRatio = reg.FloatGauge(MetricCacheHitRatio, "Response cache hit ratio since start.")
+	s.shedTotal = reg.CounterVec(MetricShed,
+		"Requests shed by the protection layer, by route and error code.", "route", "code")
+	s.inflightGauge = reg.Gauge(MetricInflight, "Requests currently being served.")
+	s.pushActive = reg.Gauge(MetricPushActive, "Open SSE and long-poll delta connections.")
+	s.pushEvents = reg.Counter(MetricPushEvents, "SSE delta events delivered.")
+	s.pushDropped = reg.Counter(MetricPushDropped, "Push connections dropped for backpressure.")
+
+	s.cache = newRespCache(defaultCacheBytes)
+	s.signal = newEpochSignal()
+	v := db.View()
+	s.agg.Store(computeAggregates(v.Epoch(), v))
+	db.OnPublish(s.onPublish)
 
 	s.handle("GET /v1/stats", "/v1/stats", s.handleStats)
 	s.handle("GET /v1/zones", "/v1/zones", s.handleZonesV1)
 	s.handle("GET /v1/domains/{name}", "/v1/domains/{name}", s.handleDomain)
 	s.handle("GET /v1/nameservers/{name}", "/v1/nameservers/{name}", s.handleNameserver)
+	s.handle("GET /v1/top/nameservers", "/v1/top/nameservers", s.handleTopNameservers)
 	s.handle("GET /v1/zones/{zone}/snapshot", "/v1/zones/{zone}/snapshot", s.handleSnapshot)
 	s.handle("GET /v1/deltas", "/v1/deltas", s.handleDeltas)
 
 	// Legacy unversioned aliases, kept for one release. They keep their
 	// own route labels so deprecated traffic stays visible in metrics.
-	s.handle("GET /stats", "/stats", deprecated("/v1/stats", s.handleStats))
-	s.handle("GET /zones", "/zones", deprecated("/v1/zones", s.handleZones))
-	s.handle("GET /domains/{name}", "/domains/{name}", deprecated("/v1/domains/{name}", s.handleDomain))
-	s.handle("GET /nameservers/{name}", "/nameservers/{name}", deprecated("/v1/nameservers/{name}", s.handleNameserver))
-	s.handle("GET /zones/{zone}/snapshot", "/zones/{zone}/snapshot", deprecated("/v1/zones/{zone}/snapshot", s.handleSnapshot))
+	s.handle("GET /stats", "/stats", s.deprecated("/stats", "/v1/stats", s.handleStats))
+	s.handle("GET /zones", "/zones", s.deprecated("/zones", "/v1/zones", s.handleZones))
+	s.handle("GET /domains/{name}", "/domains/{name}", s.deprecated("/domains/{name}", "/v1/domains/{name}", s.handleDomain))
+	s.handle("GET /nameservers/{name}", "/nameservers/{name}", s.deprecated("/nameservers/{name}", "/v1/nameservers/{name}", s.handleNameserver))
+	s.handle("GET /zones/{zone}/snapshot", "/zones/{zone}/snapshot", s.deprecated("/zones/{zone}/snapshot", "/v1/zones/{zone}/snapshot", s.handleSnapshot))
 	return s
 }
 
-// deprecated wraps a legacy alias handler with RFC 8594-style headers
-// pointing clients at the versioned successor route.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+// onPublish is the zonedb publish hook: refresh the hot aggregates for
+// the new epoch, retire the response cache's old working set, and wake
+// every parked push connection. It runs on the publishing goroutine
+// (Close/Adopt caller), outside the DB's write lock.
+func (s *Server) onPublish(v *zonedb.View) {
+	s.agg.Store(computeAggregates(v.Epoch(), v))
+	if s.cache != nil {
+		s.cache.bump(v.Epoch())
+		s.updateCacheGauges()
+	}
+	s.signal.broadcast()
+}
+
+// SetCacheBytes resizes the response cache budget (default 64 MiB);
+// n <= 0 disables response caching (ETag/304 handling remains). Call
+// before serving.
+func (s *Server) SetCacheBytes(n int64) {
+	if n <= 0 {
+		s.cache = nil
+		return
+	}
+	s.cache = newRespCache(n)
+}
+
+// CacheStats snapshots the response cache (zero-valued when caching is
+// disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+func (s *Server) updateCacheGauges() {
+	if s.cache == nil {
+		return
+	}
+	st := s.cache.stats()
+	s.cacheEntries.Set(int64(st.Entries))
+	s.cacheBytes.Set(st.Bytes)
+	if d := st.Evictions - s.cacheEvict.Value(); d > 0 {
+		s.cacheEvict.Add(int(d))
+	}
+	s.cacheRatio.Set(st.HitRatio())
+}
+
+// deprecated wraps a legacy alias handler with RFC 8594 headers — the
+// Sunset date after which the alias is removed, plus a pointer at the
+// versioned successor — and counts the remaining legacy traffic.
+func (s *Server) deprecated(route, successor string, h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request, st store) {
+		s.legacy.With(route).Inc()
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+		h(w, r, st)
 	}
 }
 
@@ -239,9 +364,14 @@ func (s *Server) LatencyHistograms(routes ...string) []*obs.Histogram {
 func V1Routes() []string {
 	return []string{
 		"/v1/stats", "/v1/zones", "/v1/domains/{name}", "/v1/nameservers/{name}",
-		"/v1/zones/{zone}/snapshot", "/v1/deltas",
+		"/v1/top/nameservers", "/v1/zones/{zone}/snapshot", "/v1/deltas",
 	}
 }
+
+// handlerFunc is a route handler with the request's pinned store
+// threaded through: the middleware resolves the View once so the
+// protection, cache, and handler layers all observe the same epoch.
+type handlerFunc func(w http.ResponseWriter, r *http.Request, st store)
 
 // handle mounts handler at pattern behind the metrics-and-tracing
 // middleware. The route label is the pattern without the method so
@@ -252,7 +382,7 @@ func V1Routes() []string {
 // parents the request's server span (and is echoed into the request
 // log and the latency histogram's exemplar), an absent or malformed
 // one starts a fresh root span.
-func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
+func (s *Server) handle(pattern, route string, handler handlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.obs.Now()
 		ctx := r.Context()
@@ -261,8 +391,9 @@ func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
 			ctx = trace.ContextWithRemote(ctx, remote)
 		}
 		ctx, sp := s.Tracer.Start(ctx, "dzdbapi."+route)
+		isPush := route == "/v1/deltas" && (wantsSSE(r) || r.URL.Query().Get("wait") != "")
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		handler(sw, r.WithContext(ctx))
+		s.serve(sw, r.WithContext(ctx), route, isPush, handler)
 		elapsed := s.obs.Now().Sub(start)
 
 		traceID := sp.TraceID()
@@ -270,7 +401,11 @@ func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
 			traceID = remote.TraceID.String()
 		}
 		s.requests.With(route, statusClass(sw.status)).Inc()
-		s.latency.With(route).ObserveExemplar(elapsed.Seconds(), traceID)
+		if !isPush {
+			// Push connections live as long as the consumer; their
+			// lifetime is not request latency and would wreck the p99.
+			s.latency.With(route).ObserveExemplar(elapsed.Seconds(), traceID)
+		}
 		if sp != nil {
 			sp.SetAttr("route", route)
 			sp.SetAttr("status", strconv.Itoa(sw.status))
@@ -287,6 +422,72 @@ func (s *Server) handle(pattern, route string, handler http.HandlerFunc) {
 	})
 }
 
+// serve runs the protection and cache layers around handler. The store
+// is pinned exactly once; when it is a published View the response is
+// epoch-addressable: If-None-Match is answered 304 from the epoch
+// alone, and hot bodies come out of the LRU without recompute. Legacy
+// aliases and push connections bypass the cache (the former to keep
+// their Deprecation/Sunset headers per-request, the latter because a
+// stream is not a representation).
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, isPush bool, handler handlerFunc) {
+	release, ok := s.admit(w, r, route, isPush)
+	if !ok {
+		return
+	}
+	defer release()
+	st := s.store()
+	v, isView := st.(*zonedb.View)
+	if !isView || isPush || !strings.HasPrefix(route, "/v1/") {
+		handler(w, r, st)
+		return
+	}
+	key := cacheKey(r)
+	etag := makeETag(v.Epoch(), key)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		// The epoch is the validator: the client's representation came
+		// from this same immutable View, so no recompute is needed to
+		// know it still matches.
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		s.cacheReqs.With(route, "revalidated").Inc()
+		return
+	}
+	if s.cache == nil {
+		rec := &recordingWriter{ResponseWriter: w, etag: etag, tooBig: true}
+		handler(rec, r, st)
+		return
+	}
+	if e, hit := s.cache.get(v.Epoch(), key); hit {
+		h := w.Header()
+		h.Set("ETag", etag)
+		h.Set("Content-Type", e.ctype)
+		h.Set("X-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(e.body)
+		s.cacheReqs.With(route, "hit").Inc()
+		s.updateCacheGauges()
+		return
+	}
+	s.cacheReqs.With(route, "miss").Inc()
+	w.Header().Set("X-Cache", "miss")
+	rec := &recordingWriter{ResponseWriter: w, etag: etag}
+	handler(rec, r, st)
+	if rec.status == http.StatusOK && !rec.tooBig {
+		s.cache.put(v.Epoch(), key, rec.Header().Get("Content-Type"),
+			append([]byte(nil), rec.buf.Bytes()...))
+	}
+	s.updateCacheGauges()
+}
+
+// storeEpoch returns the epoch of a pinned View, or 0 for a live-DB
+// fallback store (epochs start at 1, so 0 never matches an aggregate).
+func storeEpoch(st store) uint64 {
+	if v, ok := st.(*zonedb.View); ok {
+		return v.Epoch()
+	}
+	return 0
+}
+
 // statusWriter captures the response status for the middleware.
 type statusWriter struct {
 	http.ResponseWriter
@@ -297,6 +498,10 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// flush and deadline controls — the SSE path depends on both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // statusClass buckets a status code ("2xx", "4xx", ...).
 func statusClass(status int) string {
@@ -331,8 +536,13 @@ const (
 	CodeInvalidDate   = "invalid_date"
 	CodeInvalidCursor = "invalid_cursor"
 	CodeInvalidLimit  = "invalid_limit"
+	CodeInvalidWait   = "invalid_wait"
 	CodeNotFound      = "not_found"
 	CodeInternal      = "internal"
+	// CodeRateLimited (429) and CodeOverloaded (503) are the shed
+	// responses; both carry a Retry-After header.
+	CodeRateLimited = "rate_limited"
+	CodeOverloaded  = "overloaded"
 )
 
 // ErrorBody is the machine-readable half of the error envelope.
@@ -409,23 +619,35 @@ func pageWindow(w http.ResponseWriter, r *http.Request, n int, keyAt func(int) s
 	return start, end, next, true
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	db := s.store()
-	zones := db.Zones()
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, st store) {
+	if a := s.aggregatesFor(storeEpoch(st)); a != nil {
+		writeJSON(w, http.StatusOK, a.stats)
+		return
+	}
+	zones := st.Zones()
 	zs := make([]string, len(zones))
 	for i, z := range zones {
 		zs[i] = string(z)
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Domains:     db.NumDomains(),
-		Nameservers: db.NumNameservers(),
+		Domains:     st.NumDomains(),
+		Nameservers: st.NumNameservers(),
 		Zones:       zs,
 	})
 }
 
+// zoneList returns the sorted zone names, from the precomputed
+// aggregate when it matches the pinned epoch.
+func (s *Server) zoneList(st store) []dnsname.Name {
+	if a := s.aggregatesFor(storeEpoch(st)); a != nil {
+		return a.zones
+	}
+	return st.Zones()
+}
+
 // handleZones is the legacy /zones shape: a bare, unpaginated array.
-func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
-	zones := s.store().Zones()
+func (s *Server) handleZones(w http.ResponseWriter, r *http.Request, st store) {
+	zones := s.zoneList(st)
 	zs := make([]string, len(zones))
 	for i, z := range zones {
 		zs[i] = string(z)
@@ -433,8 +655,8 @@ func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, zs)
 }
 
-func (s *Server) handleZonesV1(w http.ResponseWriter, r *http.Request) {
-	zones := s.store().Zones()
+func (s *Server) handleZonesV1(w http.ResponseWriter, r *http.Request, st store) {
+	zones := s.zoneList(st)
 	start, end, next, ok := pageWindow(w, r, len(zones), func(i int) string { return string(zones[i]) })
 	if !ok {
 		return
@@ -446,12 +668,12 @@ func (s *Server) handleZonesV1(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ZonesResponse{Zones: zs, NextCursor: next})
 }
 
-func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request, st store) {
 	name, ok := parseName(w, r.PathValue("name"))
 	if !ok {
 		return
 	}
-	db := s.store()
+	db := st
 	resp := DomainResponse{Name: string(name)}
 	resp.Registered = spansOf(db.DomainSpans(name))
 	hist := db.NSHistory(name)
@@ -468,12 +690,12 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleNameserver(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleNameserver(w http.ResponseWriter, r *http.Request, st store) {
 	name, ok := parseName(w, r.PathValue("name"))
 	if !ok {
 		return
 	}
-	db := s.store()
+	db := st
 	first := db.NSFirstSeen(name)
 	if first == dates.None {
 		writeError(w, http.StatusNotFound, CodeNotFound, "nameserver %s not observed", name)
@@ -497,12 +719,12 @@ func (s *Server) handleNameserver(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, st store) {
 	zone, ok := parseName(w, r.PathValue("zone"))
 	if !ok {
 		return
 	}
-	db := s.store()
+	db := st
 	raw := r.URL.Query().Get("date")
 	day, err := dates.Parse(raw)
 	if err != nil {

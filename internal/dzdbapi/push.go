@@ -1,0 +1,198 @@
+package dzdbapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dates"
+)
+
+// Metric names recorded by the push (SSE / long-poll) paths.
+const (
+	MetricPushActive  = "dzdb_push_active"
+	MetricPushEvents  = "dzdb_push_events_total"
+	MetricPushDropped = "dzdb_push_dropped_total"
+)
+
+const (
+	// maxLongPollWait caps ?wait= so a dead client cannot pin a
+	// connection arbitrarily long.
+	maxLongPollWait = 60 * time.Second
+	// sseBatchDays bounds the day window of a single SSE event so one
+	// event never grows past roughly a year of deltas.
+	sseBatchDays = 366
+	// defaultPushWriteTimeout is how long one SSE event write may block
+	// on a slow consumer before the connection is dropped. The socket
+	// buffer is the only queue: the server never buffers events
+	// per-connection, it recomputes the remaining window from the
+	// consumer's position, so a lagging reader costs memory O(1).
+	defaultPushWriteTimeout = 5 * time.Second
+)
+
+// epochSignal broadcasts "a new View was published" to any number of
+// waiting push connections via the closed-channel idiom: waiters grab
+// the current channel, the publisher closes it and installs a fresh
+// one. Grabbing the channel before reading the View guarantees no
+// publish is missed between the read and the wait.
+type epochSignal struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newEpochSignal() *epochSignal {
+	return &epochSignal{ch: make(chan struct{})}
+}
+
+// wait returns a channel closed at the next publish.
+func (e *epochSignal) wait() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ch
+}
+
+// broadcast wakes every waiter.
+func (e *epochSignal) broadcast() {
+	e.mu.Lock()
+	close(e.ch)
+	e.ch = make(chan struct{})
+	e.mu.Unlock()
+}
+
+// wantsSSE reports whether the request negotiated the event-stream
+// representation of the delta feed.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+func (s *Server) pushTimeout() time.Duration {
+	if s.PushWriteTimeout > 0 {
+		return s.PushWriteTimeout
+	}
+	return defaultPushWriteTimeout
+}
+
+// handleDeltasLongPoll serves ?wait=: when the requested window is
+// empty, the request parks on the epoch signal until a publish makes
+// it non-empty or the wait expires, then answers with the ordinary
+// page envelope (empty Deltas on timeout). A caught-up follower
+// therefore holds exactly one outstanding request and still sees a new
+// epoch's days the moment Adopt lands.
+func (s *Server) handleDeltasLongPoll(w http.ResponseWriter, r *http.Request, wait time.Duration) {
+	if wait > maxLongPollWait {
+		wait = maxLongPollWait
+	}
+	deadline := time.Now().Add(wait)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		ch := s.signal.wait()
+		v := s.db.View()
+		expired := !time.Now().Before(deadline)
+		if v.Closed() {
+			resp, ok := s.buildDeltaPage(w, r, v)
+			if !ok {
+				return
+			}
+			if len(resp.Deltas) > 0 || expired {
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		} else if expired {
+			writeError(w, http.StatusNotFound, CodeNotFound,
+				"delta feed requires a sealed database (no Close recorded)")
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-timer.C:
+		case <-ch:
+		}
+	}
+}
+
+// handleDeltasSSE streams the delta feed as Server-Sent Events. Each
+// "deltas" event carries one DeltasResponse JSON document covering a
+// contiguous day window; the stream starts at ?from= (or the feed
+// start), sends everything already sealed, then parks on the epoch
+// signal and pushes each new publish's days as they land. Backpressure
+// is a per-event write deadline: a consumer that cannot drain the
+// socket within PushWriteTimeout is disconnected (it can reconnect
+// from its last applied day), so a slow reader never queues unbounded
+// state server-side.
+func (s *Server) handleDeltasSSE(w http.ResponseWriter, r *http.Request) {
+	pos := dates.None
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		d, err := dates.Parse(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidDate, "invalid from %q (want YYYY-MM-DD)", raw)
+			return
+		}
+		pos = d
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	for {
+		ch := s.signal.wait()
+		v := s.db.View()
+		if v.Closed() {
+			idx, err := s.deltas.get(v)
+			if err != nil {
+				return
+			}
+			if idx.First() != dates.None {
+				if pos == dates.None || pos < idx.First() {
+					pos = idx.First()
+				}
+				for pos <= idx.Last() {
+					end := pos + sseBatchDays - 1
+					if end > idx.Last() {
+						end = idx.Last()
+					}
+					resp := DeltasResponse{Epoch: idx.Epoch(), FirstDay: idx.First(), CloseDay: idx.Last()}
+					resp.Deltas = make([]DayDeltaJSON, 0, int(end-pos)+1)
+					for d := pos; d <= end; d++ {
+						resp.Deltas = append(resp.Deltas, dayDeltaJSON(idx.Day(d)))
+					}
+					if err := s.writeSSEEvent(w, rc, "deltas", resp); err != nil {
+						s.pushDropped.Inc()
+						return
+					}
+					s.pushEvents.Inc()
+					pos = end + 1
+				}
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// writeSSEEvent emits one event frame under the push write deadline.
+func (s *Server) writeSSEEvent(w http.ResponseWriter, rc *http.ResponseController, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := rc.SetWriteDeadline(time.Now().Add(s.pushTimeout())); err != nil && s.Log != nil {
+		s.Log.Warn("push: no write-deadline support; slow consumers unbounded", "err", err)
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	return rc.Flush()
+}

@@ -1,0 +1,330 @@
+package dzdbapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/zonedb"
+)
+
+// testDB2 is testDB plus one extra domain and a later close day — the
+// "next archive" a dzdbd re-ingest would Adopt.
+func testDB2() *zonedb.DB {
+	db := zonedb.New()
+	db.DomainAdded("net", "whitecounty.net", d(0))
+	db.DelegationAdded("net", "whitecounty.net", "ns2.internetemc.com", d(0))
+	db.DelegationRemoved("net", "whitecounty.net", "ns2.internetemc.com", d(100))
+	db.DelegationAdded("net", "whitecounty.net", "ns2.internetemc1aj2kdy.biz", d(100))
+	db.DomainAdded("com", "internetemc.com", d(0))
+	db.GlueAdded("com", "ns2.internetemc.com", d(0))
+	db.DelegationAdded("com", "internetemc.com", "ns2.internetemc.com", d(0))
+	db.GlueRemoved("com", "ns2.internetemc.com", d(100))
+	db.DomainRemoved("com", "internetemc.com", d(100))
+	db.DelegationRemoved("com", "internetemc.com", "ns2.internetemc.com", d(100))
+	db.DomainAdded("com", "newcomer.com", d(201))
+	db.DelegationAdded("com", "newcomer.com", "ns2.internetemc1aj2kdy.biz", d(201))
+	db.Close(d(201))
+	return db
+}
+
+func get(t *testing.T, url string, hdr ...string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestETagStableWithinEpoch pins the validator's determinism: the same
+// (epoch, route, params) always yields the same strong ETag, parameter
+// order does not split it, and different params get different tags.
+func TestETagStableWithinEpoch(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	r1 := get(t, ts.URL+"/v1/stats")
+	r2 := get(t, ts.URL+"/v1/stats")
+	e1, e2 := r1.Header.Get("ETag"), r2.Header.Get("ETag")
+	if e1 == "" || e1 != e2 {
+		t.Fatalf("ETag not stable within epoch: %q then %q", e1, e2)
+	}
+	if !strings.HasPrefix(e1, `"e`) {
+		t.Errorf("ETag %q is not the strong epoch form", e1)
+	}
+
+	a := get(t, ts.URL+"/v1/deltas?from="+d(100).String()+"&limit=5")
+	b := get(t, ts.URL+"/v1/deltas?limit=5&from="+d(100).String())
+	if a.Header.Get("ETag") == "" || a.Header.Get("ETag") != b.Header.Get("ETag") {
+		t.Errorf("parameter order split the ETag: %q vs %q",
+			a.Header.Get("ETag"), b.Header.Get("ETag"))
+	}
+	c := get(t, ts.URL+"/v1/deltas?from="+d(100).String()+"&limit=6")
+	if c.Header.Get("ETag") == a.Header.Get("ETag") {
+		t.Errorf("different params share ETag %q", c.Header.Get("ETag"))
+	}
+}
+
+// TestConditionalRevalidation: If-None-Match with the current epoch's
+// tag answers 304 with no body, and the middleware counts it as a
+// revalidation rather than a hit or miss.
+func TestConditionalRevalidation(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	etag := get(t, ts.URL+"/v1/stats").Header.Get("ETag")
+	resp := get(t, ts.URL+"/v1/stats", "If-None-Match", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 0 {
+		t.Errorf("304 carried %d body bytes", len(body))
+	}
+	// W/ prefixes and candidate lists also match.
+	if r := get(t, ts.URL+"/v1/stats", "If-None-Match", `"bogus", W/`+etag); r.StatusCode != 304 {
+		t.Errorf("list match status = %d, want 304", r.StatusCode)
+	}
+	reg := srv.Metrics()
+	if got := reg.CounterVec(MetricCacheRequests, "", "route", "outcome").
+		With("/v1/stats", "revalidated").Value(); got != 2 {
+		t.Errorf("revalidated count = %d, want 2", got)
+	}
+}
+
+// TestResponseCacheHit: the second identical request comes from the LRU
+// (X-Cache: hit, identical body) and the stats move.
+func TestResponseCacheHit(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	r1 := get(t, ts.URL+"/v1/zones?limit=1")
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	b1, _ := io.ReadAll(r1.Body)
+	r2 := get(t, ts.URL+"/v1/zones?limit=1")
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", got)
+	}
+	b2, _ := io.ReadAll(r2.Body)
+	if string(b1) != string(b2) {
+		t.Fatalf("cached body diverged:\n%s\nvs\n%s", b1, b2)
+	}
+	if r1.Header.Get("Content-Type") != r2.Header.Get("Content-Type") {
+		t.Errorf("cached Content-Type diverged")
+	}
+	st := srv.CacheStats()
+	if st.Hits != 1 || st.Misses < 1 || st.Entries < 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+	if st.HitRatio() <= 0 {
+		t.Errorf("hit ratio = %v, want > 0", st.HitRatio())
+	}
+}
+
+// TestAdoptFlipsETagAndCache is the invalidation story end to end:
+// adopting a new archive flips the epoch, so every prior ETag stops
+// matching and the response cache starts cold for the new epoch.
+func TestAdoptFlipsETagAndCache(t *testing.T) {
+	db := testDB()
+	srv := New(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	etag1 := get(t, ts.URL+"/v1/stats").Header.Get("ETag")
+	get(t, ts.URL+"/v1/stats") // warm the cache
+	if st := srv.CacheStats(); st.Hits != 1 {
+		t.Fatalf("pre-adopt stats = %+v", st)
+	}
+	epoch1 := srv.CacheStats().Epoch
+
+	db.Adopt(testDB2())
+
+	resp := get(t, ts.URL+"/v1/stats")
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("post-adopt X-Cache = %q, want miss (cache flushed)", got)
+	}
+	etag2 := resp.Header.Get("ETag")
+	if etag2 == etag1 {
+		t.Fatalf("ETag did not flip across Adopt: %q", etag1)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Domains != 3 {
+		t.Errorf("post-adopt domains = %d, want 3", stats.Domains)
+	}
+	// The old validator no longer matches: a conditional request gets the
+	// new representation, not a false 304.
+	stale := get(t, ts.URL+"/v1/stats", "If-None-Match", etag1)
+	if stale.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match status = %d, want 200", stale.StatusCode)
+	}
+	if st := srv.CacheStats(); st.Epoch <= epoch1 {
+		t.Errorf("cache epoch %d did not advance past %d", st.Epoch, epoch1)
+	}
+}
+
+// TestTopNameservers covers the precomputed leaderboard: aggregate
+// ordering, the limit window, the typed client, and the error envelope.
+func TestTopNameservers(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	top, err := c.TopNameservers(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Nameservers) != 2 {
+		t.Fatalf("leaderboard = %+v", top.Nameservers)
+	}
+	first := top.Nameservers[0]
+	if first.Nameserver != "ns2.internetemc.com" || first.Domains != 2 || first.DomainDays != 200 {
+		t.Errorf("top entry = %+v", first)
+	}
+	if top.Nameservers[1].Domains != 1 || top.Nameservers[1].DomainDays != 101 {
+		t.Errorf("second entry = %+v", top.Nameservers[1])
+	}
+
+	one, err := c.TopNameservers(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Nameservers) != 1 || one.Nameservers[0].Nameserver != first.Nameserver {
+		t.Errorf("limit=1 = %+v", one.Nameservers)
+	}
+
+	if _, err := c.TopNameservers(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	status, ae := rawError(t, ts.URL, "/v1/top/nameservers?limit=abc")
+	if status != 400 || ae.Error.Code != CodeInvalidLimit {
+		t.Errorf("bad limit = %d %q", status, ae.Error.Code)
+	}
+}
+
+// TestLegacySunset pins the RFC 8594 deprecation surface on the
+// unversioned aliases: headers, the dedicated traffic metric, and that
+// aliases stay out of the response cache (their headers are
+// per-request).
+func TestLegacySunset(t *testing.T) {
+	srv := New(testDB())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		resp := get(t, ts.URL+"/stats")
+		if got := resp.Header.Get("Sunset"); got != legacySunset {
+			t.Errorf("Sunset = %q, want %q", got, legacySunset)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Error("missing Deprecation header")
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, `</v1/stats>; rel="successor-version"`) {
+			t.Errorf("Link = %q", link)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "" {
+			t.Errorf("legacy alias went through the cache: X-Cache=%q", xc)
+		}
+	}
+	reg := srv.Metrics()
+	if got := reg.CounterVec(MetricLegacyRequests, "", "route").With("/stats").Value(); got != 2 {
+		t.Errorf("legacy traffic counter = %d, want 2", got)
+	}
+	// v1 traffic does not count as legacy.
+	get(t, ts.URL+"/v1/stats")
+	if got := reg.CounterVec(MetricLegacyRequests, "", "route").With("/v1/stats").Value(); got != 0 {
+		t.Errorf("v1 route counted as legacy: %d", got)
+	}
+}
+
+// TestClientConditionalRequests drives the client-side half: with a
+// CondCache attached the second call revalidates (304, decoded from the
+// stored body) and an Adopt forces a fresh download.
+func TestClientConditionalRequests(t *testing.T) {
+	db := testDB()
+	srv := New(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL, Conditional: NewCondCache(0)}
+
+	s1, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Domains != s2.Domains || len(s1.Zones) != len(s2.Zones) {
+		t.Fatalf("revalidated decode diverged: %+v vs %+v", s1, s2)
+	}
+	hits, misses := c.Conditional.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cond cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if got := srv.Metrics().CounterVec(MetricCacheRequests, "", "route", "outcome").
+		With("/v1/stats", "revalidated").Value(); got != 1 {
+		t.Errorf("server revalidated count = %d, want 1", got)
+	}
+
+	db.Adopt(testDB2())
+	s3, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Domains != 3 {
+		t.Errorf("post-adopt stats = %+v (served stale cache?)", s3)
+	}
+	if hits, misses = c.Conditional.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("post-adopt cond cache hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestCacheDisabled: SetCacheBytes(0) turns the LRU off but keeps the
+// ETag/304 contract intact.
+func TestCacheDisabled(t *testing.T) {
+	srv := New(testDB())
+	srv.SetCacheBytes(0)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	r1 := get(t, ts.URL+"/v1/stats")
+	etag := r1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag with caching disabled")
+	}
+	if xc := get(t, ts.URL+"/v1/stats").Header.Get("X-Cache"); xc != "" {
+		t.Errorf("X-Cache = %q with caching disabled", xc)
+	}
+	if resp := get(t, ts.URL+"/v1/stats", "If-None-Match", etag); resp.StatusCode != 304 {
+		t.Errorf("304 path broken without cache: status %d", resp.StatusCode)
+	}
+	if st := srv.CacheStats(); st != (CacheStats{}) {
+		t.Errorf("disabled cache stats = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,134 @@
+package dzdbapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/faults"
+	"repro/internal/obs/trace"
+)
+
+// longPollMargin pads the per-call HTTP timeout past the server-side
+// hold so a request parked for the full wait still completes cleanly.
+const longPollMargin = 10 * time.Second
+
+// DeltasPoll is Deltas in long-poll mode: when the requested window is
+// empty the server holds the request up to wait and answers the moment
+// a new epoch publishes (or with an empty final page on timeout). The
+// call uses a per-request HTTP timeout of wait+10s so the default 2s
+// client timeout never kills a parked poll.
+func (c *Client) DeltasPoll(ctx context.Context, from dates.Day, cursor string, limit int, wait time.Duration) (*DeltasResponse, error) {
+	q := url.Values{}
+	if from != dates.None {
+		q.Set("from", from.String())
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	path := "/v1/deltas"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	hc := c.httpClient()
+	if wait > 0 && hc.Timeout > 0 && hc.Timeout < wait+longPollMargin {
+		clone := *hc
+		clone.Timeout = wait + longPollMargin
+		hc = &clone
+	}
+	var out DeltasResponse
+	if err := c.getJSONClient(ctx, "deltas_poll", path, &out, hc); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamDeltas subscribes to the delta feed's SSE mode and invokes fn
+// for every "deltas" event until ctx ends, the server drops the
+// connection, or fn returns an error (which is returned verbatim —
+// callers use a sentinel to stop cleanly). The connection is made with
+// no overall timeout (streams are indefinitely long-lived); the
+// breaker and retry policy are NOT applied — a stream is a
+// subscription, not an idempotent call, so reconnect policy belongs to
+// the caller. A clean server-side close returns nil.
+func (c *Client) StreamDeltas(ctx context.Context, from dates.Day, fn func(*DeltasResponse) error) (err error) {
+	ctx, sp := c.Tracer.Start(ctx, "dzdbapi.client.stream_deltas")
+	defer func() { sp.SetError(err); sp.End() }()
+	path := "/v1/deltas"
+	if from != dates.None {
+		path += "?from=" + from.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return faults.Permanent(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	trace.Inject(ctx, req.Header)
+	base := c.httpClient()
+	stream := &http.Client{Transport: base.Transport, Jar: base.Jar}
+	resp, err := stream.Do(req)
+	if err != nil {
+		return err
+	}
+	// Close without draining: an event stream has no end to drain to,
+	// and the connection is not reusable once abandoned mid-stream.
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		defer drain(resp.Body)
+		return errorFromResponse(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		return &APIError{Status: resp.StatusCode, Msg: "server did not upgrade to an event stream", Body: ct}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxJSONBody+1024)
+	event := ""
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "deltas" && data.Len() > 0 {
+				var out DeltasResponse
+				if err := json.Unmarshal(data.Bytes(), &out); err != nil {
+					return err
+				}
+				if err := fn(&out); err != nil {
+					return err
+				}
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return serr
+	}
+	return ctx.Err()
+}

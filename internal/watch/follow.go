@@ -41,11 +41,22 @@ type Follower struct {
 	// PageSize is the number of days requested per page (default 365).
 	PageSize int
 	// Poll is the delay between catch-up passes once the feed is
-	// exhausted (default 2s).
+	// exhausted (default 2s). In long-poll and SSE modes it is the
+	// reconnect backoff after a transport failure.
 	Poll time.Duration
 	// Once stops after the first pass that reaches the feed's close day
 	// instead of polling forever.
 	Once bool
+
+	// Mode selects the feed transport: ModePoll (default) re-requests
+	// at the Poll cadence; ModeLongPoll parks one request server-side
+	// (?wait=) so a caught-up follower costs one outstanding request
+	// per epoch instead of a poll loop; ModeSSE holds one streaming
+	// connection and applies events as the server pushes them.
+	Mode string
+	// Wait is the long-poll hold sent as ?wait= (default 30s; only
+	// meaningful in ModeLongPoll).
+	Wait time.Duration
 
 	// Obs, when set, instruments the apply loop as the one-worker
 	// "watch_apply" pool: busy time per applied day, days applied, and
@@ -57,6 +68,17 @@ type Follower struct {
 
 	pool *obs.PoolStats
 }
+
+// Feed transport modes for Follower.Mode.
+const (
+	ModePoll     = "poll"
+	ModeLongPoll = "longpoll"
+	ModeSSE      = "sse"
+)
+
+// errStopFollow stops the SSE consumer from inside the event callback
+// once Once-mode catch-up completes.
+var errStopFollow = errors.New("watch: follower caught up")
 
 func (f *Follower) pageSize() int {
 	if f.PageSize > 0 {
@@ -72,6 +94,13 @@ func (f *Follower) poll() time.Duration {
 	return 2 * time.Second
 }
 
+func (f *Follower) wait() time.Duration {
+	if f.Wait > 0 {
+		return f.Wait
+	}
+	return 30 * time.Second
+}
+
 // Run follows the feed until ctx is done (or, with Once, until caught
 // up). Transport errors that survive the client's own retry policy are
 // logged and retried at the poll cadence; in Once mode they abort.
@@ -79,11 +108,16 @@ func (f *Follower) Run(ctx context.Context) error {
 	if f.Obs != nil && f.pool == nil {
 		f.pool = f.Obs.NewPoolStats("watch_apply", 1)
 	}
+	if f.Mode == ModeSSE {
+		return f.runSSE(ctx)
+	}
 	for {
 		passStart := time.Now()
+		before := f.Engine.LastDay()
 		caughtUp, closeDay, err := f.sync(ctx)
+		passDur := time.Since(passStart)
 		if f.pool != nil {
-			f.pool.EndRound(time.Since(passStart))
+			f.pool.EndRound(passDur)
 		}
 		if f.OnPass != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			f.OnPass(f.Engine.LastDay(), closeDay, err)
@@ -99,6 +133,70 @@ func (f *Follower) Run(ctx context.Context) error {
 			}
 		case caughtUp && f.Once:
 			return nil
+		}
+		if f.Mode == ModeLongPoll && err == nil &&
+			(f.Engine.LastDay() != before || passDur >= f.wait()/2) {
+			// The server parked the request (or delivered work): loop
+			// straight into the next long-poll. The quick-empty-return
+			// case below means the server ignored ?wait (an old
+			// binary), so fall back to the poll cadence rather than
+			// busy-loop.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.poll()):
+		}
+	}
+}
+
+// runSSE consumes the feed's push stream: one connection delivers
+// every sealed day and then each new epoch's days as the server
+// publishes them — a caught-up follower issues zero additional
+// requests per epoch. Dropped streams (including backpressure sheds)
+// reconnect from the engine's position after the poll backoff;
+// exactly-once application is preserved by the same day-dedup the
+// poll path uses.
+func (f *Follower) runSSE(ctx context.Context) error {
+	for {
+		from := dates.None
+		if last := f.Engine.LastDay(); last != dates.None {
+			from = last + 1
+		}
+		err := f.Client.StreamDeltas(ctx, from, func(resp *dzdbapi.DeltasResponse) error {
+			for i := range resp.Deltas {
+				if err := f.apply(resp.Deltas[i].Delta(), resp.CloseDay); err != nil {
+					return err
+				}
+			}
+			if f.OnPass != nil {
+				f.OnPass(f.Engine.LastDay(), resp.CloseDay, nil)
+			}
+			if f.Once && resp.CloseDay != dates.None && f.Engine.LastDay() >= resp.CloseDay {
+				return errStopFollow
+			}
+			return nil
+		})
+		switch {
+		case errors.Is(err, errStopFollow):
+			return nil
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		if f.OnPass != nil && err != nil {
+			f.OnPass(f.Engine.LastDay(), dates.None, err)
+		}
+		if err != nil && f.Once {
+			return err
+		}
+		if f.Log != nil && err != nil {
+			f.Log.Warn("delta stream failed; reconnecting", "err", err)
 		}
 		select {
 		case <-ctx.Done():
@@ -121,7 +219,13 @@ func (f *Follower) sync(ctx context.Context) (bool, dates.Day, error) {
 	epoch := uint64(0)
 	closeDay := dates.None
 	for {
-		resp, err := f.Client.Deltas(ctx, from, cursor, f.pageSize())
+		var resp *dzdbapi.DeltasResponse
+		var err error
+		if f.Mode == ModeLongPoll {
+			resp, err = f.Client.DeltasPoll(ctx, from, cursor, f.pageSize(), f.wait())
+		} else {
+			resp, err = f.Client.Deltas(ctx, from, cursor, f.pageSize())
+		}
 		if err != nil {
 			return false, closeDay, err
 		}

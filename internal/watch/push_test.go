@@ -1,0 +1,163 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+	"repro/internal/dzdbapi"
+	"repro/internal/sim"
+	"repro/internal/whois"
+	"repro/internal/zonedb"
+)
+
+// feedDB builds a small zone history sealed at lastDay; extra domains
+// (one per day past day 2) make later epochs distinguishable.
+func feedDB(lastDay dates.Day) *zonedb.DB {
+	db := zonedb.New()
+	db.DomainAdded("net", "victim.net", 0)
+	db.DelegationAdded("net", "victim.net", "ns1.host.com", 0)
+	db.DomainAdded("com", "host.com", 0)
+	db.GlueAdded("com", "ns1.host.com", 0)
+	db.DelegationAdded("com", "host.com", "ns1.host.com", 0)
+	for d := dates.Day(3); d <= lastDay; d++ {
+		db.DomainAdded("net", dnsname.Name(fmt.Sprintf("day%d.net", d)), d)
+	}
+	db.Close(lastDay)
+	return db
+}
+
+// pushEngine builds an engine with an empty WHOIS history and the
+// standard registry directory, as riskywatchd does.
+func pushEngine() *Engine {
+	return New(whois.New(), sim.StandardDirectory())
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerSSE is the acceptance criterion end to end: a follower in
+// SSE mode catches up and then observes a newly adopted epoch's days
+// over the same connection — one feed request across two epochs.
+func TestFollowerSSE(t *testing.T) {
+	db := feedDB(10)
+	srv := dzdbapi.New(db)
+	var feedRequests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/deltas" {
+			feedRequests.Add(1)
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	// The engine is owned by the follower goroutine; mirror its position
+	// through OnApplied (as riskywatchd does) for concurrent assertions.
+	var lastDay atomic.Int64
+	f := &Follower{
+		Client:    &dzdbapi.Client{BaseURL: ts.URL},
+		Engine:    pushEngine(),
+		Mode:      ModeSSE,
+		OnApplied: func(day, _ dates.Day, _ int) { lastDay.Store(int64(day)) },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run(ctx) }()
+
+	waitFor(t, "SSE catch-up", func() bool { return lastDay.Load() == 10 })
+	db.Adopt(feedDB(11))
+	waitFor(t, "pushed epoch", func() bool { return lastDay.Load() == 11 })
+
+	if got := feedRequests.Load(); got != 1 {
+		t.Errorf("feed requests across 2 epochs = %d, want 1", got)
+	}
+	cancel()
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestFollowerLongPoll: in long-poll mode the follower parks one
+// request server-side and applies a new epoch's days the moment it
+// publishes, with a bounded request count — no poll-cadence loop.
+func TestFollowerLongPoll(t *testing.T) {
+	db := feedDB(10)
+	srv := dzdbapi.New(db)
+	var feedRequests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/deltas" {
+			feedRequests.Add(1)
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	var lastDay atomic.Int64
+	f := &Follower{
+		Client:    &dzdbapi.Client{BaseURL: ts.URL},
+		Engine:    pushEngine(),
+		Mode:      ModeLongPoll,
+		Wait:      20 * time.Second,
+		Poll:      20 * time.Second, // a poll-cadence fallback would stall the test
+		OnApplied: func(day, _ dates.Day, _ int) { lastDay.Store(int64(day)) },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run(ctx) }()
+
+	waitFor(t, "long-poll catch-up", func() bool { return lastDay.Load() == 10 })
+	db.Adopt(feedDB(11))
+	waitFor(t, "long-polled epoch", func() bool { return lastDay.Load() == 11 })
+
+	// Catch-up pass, the parked poll that delivered the epoch, and at
+	// most the follow-up park: anything more means the mode degraded to
+	// polling.
+	if got := feedRequests.Load(); got > 4 {
+		t.Errorf("feed requests = %d, want <= 4 (one parked request per epoch)", got)
+	}
+	cancel()
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestFollowerLongPollOnce: Once-mode still terminates after catch-up
+// when long-polling — the parked request must not block completion.
+func TestFollowerLongPollOnce(t *testing.T) {
+	db := feedDB(10)
+	ts := httptest.NewServer(dzdbapi.New(db))
+	t.Cleanup(ts.Close)
+
+	e := pushEngine()
+	f := &Follower{
+		Client: &dzdbapi.Client{BaseURL: ts.URL},
+		Engine: e,
+		Mode:   ModeLongPoll,
+		Wait:   time.Second,
+		Once:   true,
+	}
+	if err := f.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.LastDay() != 10 {
+		t.Errorf("caught up to %s, want day 10", e.LastDay())
+	}
+}

@@ -1,0 +1,52 @@
+package zonedb
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+)
+
+// TestOnPublishHooks: hooks fire once per publish (Close and Adopt),
+// in order, with strictly increasing epochs, and run outside the DB's
+// write lock — reading the DB from inside a hook must not deadlock.
+func TestOnPublishHooks(t *testing.T) {
+	db := New()
+	db.DomainAdded("com", "a.com", dates.Day(0))
+
+	var epochs []uint64
+	db.OnPublish(func(v *View) {
+		// Re-entering the DB proves the hook runs outside the write lock.
+		if got := db.View().Epoch(); got != v.Epoch() {
+			t.Errorf("hook view epoch %d, published %d", v.Epoch(), got)
+		}
+		epochs = append(epochs, v.Epoch())
+	})
+
+	db.Close(dates.Day(5))
+	if len(epochs) != 1 {
+		t.Fatalf("after Close: %d hook firings, want 1", len(epochs))
+	}
+
+	next := New()
+	next.DomainAdded("com", "a.com", dates.Day(0))
+	next.DomainAdded("com", "b.com", dates.Day(1))
+	next.Close(dates.Day(6))
+	db.Adopt(next)
+
+	if len(epochs) != 2 {
+		t.Fatalf("after Adopt: %d hook firings, want 2", len(epochs))
+	}
+	if epochs[1] <= epochs[0] {
+		t.Errorf("epochs not increasing: %v", epochs)
+	}
+	if got := db.View().Epoch(); got != epochs[1] {
+		t.Errorf("published epoch %d, last hook saw %d", got, epochs[1])
+	}
+
+	// A hook registered after publishes only sees subsequent ones.
+	var late int
+	db.OnPublish(func(*View) { late++ })
+	if late != 0 {
+		t.Errorf("late hook replayed old publishes: %d", late)
+	}
+}

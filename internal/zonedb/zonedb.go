@@ -132,6 +132,11 @@ type DB struct {
 	gen   *generation
 	epoch uint64
 	cur   atomic.Pointer[View]
+
+	// hookMu guards hooks, separately from mu so registration can never
+	// deadlock against a publish in flight.
+	hookMu sync.Mutex
+	hooks  []func(*View)
 }
 
 // New returns an empty DB with an empty View published.
@@ -148,6 +153,30 @@ func New() *DB {
 // empty view. Holding a View pins one consistent generation; it never
 // changes under the caller, no matter what writers do afterwards.
 func (db *DB) View() *View { return db.cur.Load() }
+
+// OnPublish registers fn to run after every subsequent publish — each
+// Close, CloseZones, or Adopt — with the freshly published View. Hooks
+// run synchronously on the publishing goroutine, outside the DB's write
+// lock, in registration order; a hook may therefore query the DB freely
+// but should stay cheap relative to the publish cadence. The serving
+// layer uses this to recompute hot aggregates and flush response caches
+// the moment a new epoch lands.
+func (db *DB) OnPublish(fn func(*View)) {
+	db.hookMu.Lock()
+	db.hooks = append(db.hooks, fn)
+	db.hookMu.Unlock()
+}
+
+// firePublish invokes the registered publish hooks with v. Callers must
+// NOT hold db.mu.
+func (db *DB) firePublish(v *View) {
+	db.hookMu.Lock()
+	hooks := db.hooks
+	db.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(v)
+	}
+}
 
 // writable returns the build generation ready for mutation, thawing it
 // if it is still shared with the last published View.
@@ -184,7 +213,9 @@ func (db *DB) Adopt(other *DB) {
 	db.mu.Lock()
 	db.gen = &generation{tables: t, frozen: true}
 	db.publishLocked()
+	v := db.cur.Load()
 	db.mu.Unlock()
+	db.firePublish(v)
 }
 
 // absorb merges other's fact tables into db — the parallel-ingest shard
@@ -370,12 +401,14 @@ func (db *DB) sealLocked(lastFor func(zone dnsname.Name) dates.Day) {
 // after further events.
 func (db *DB) Close(lastDay dates.Day) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.writable()
 	db.sealLocked(func(dnsname.Name) dates.Day { return lastDay })
 	db.gen.closed = true
 	db.gen.closeDay = lastDay
 	db.publishLocked()
+	v := db.cur.Load()
+	db.mu.Unlock()
+	db.firePublish(v)
 }
 
 // CloseZones is Close with a per-zone last observation day — the shape a
@@ -385,7 +418,6 @@ func (db *DB) Close(lastDay dates.Day) {
 // open. The database's close day becomes the latest day in last.
 func (db *DB) CloseZones(last map[dnsname.Name]dates.Day) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.writable()
 	db.sealLocked(func(zone dnsname.Name) dates.Day {
 		if d, ok := last[zone]; ok {
@@ -402,6 +434,9 @@ func (db *DB) CloseZones(last map[dnsname.Name]dates.Day) {
 	db.gen.closed = true
 	db.gen.closeDay = max
 	db.publishLocked()
+	v := db.cur.Load()
+	db.mu.Unlock()
+	db.firePublish(v)
 }
 
 // The query methods below preserve the pre-epoch API: they read the live
