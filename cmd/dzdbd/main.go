@@ -42,6 +42,12 @@
 // the new epoch, and reads never block behind the reload. The archive is
 // fingerprinted first: an unchanged file is never re-ingested.
 //
+// With -shard-id/-shard-count, the process serves only its zone-hash
+// slice of the database as one member of a dzdbcoord fleet (see
+// cmd/dzdbcoord): the database is projected with FilterShard after
+// build or load, and /v1/internal/shard-info reports the identity so
+// the coordinator can verify the partition config.
+//
 // With -data-dir, sealed epochs persist in a segment store (see
 // internal/zonedb/segment): every successful build or reload is sealed
 // to disk, and the next boot adopts the newest sealed epoch whose source
@@ -87,12 +93,18 @@ func main() {
 	cacheSize := flag.Int("cache-size", 64, "response cache budget in MiB (0 disables body caching; ETag/304 stays on)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client token-bucket rate limit in req/s (0 disables)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent request cap; excess requests are shed with 503 (0 disables)")
+	shardID := flag.Int("shard-id", 0, "this process's shard index in a dzdbcoord fleet (requires -shard-count)")
+	shardCount := flag.Int("shard-count", 1, "total shards in the fleet; >1 serves only this shard's zone-hash slice")
 	version := flag.Bool("version", false, "print build information and exit")
 	profFlags := daemon.RegisterProfFlags(flag.CommandLine)
 	flag.Parse()
 	app := daemon.New("dzdbd", *version)
 	defer app.Close()
 	logger, fatal, reg := app.Log, app.Fatal, app.Reg
+	if *shardCount < 1 || *shardID < 0 || *shardID >= *shardCount {
+		fatal("validating shard flags",
+			fmt.Errorf("-shard-id %d out of range for -shard-count %d", *shardID, *shardCount))
+	}
 	if err := app.StartProfiler(profFlags); err != nil {
 		fatal("starting profiler", err)
 	}
@@ -141,8 +153,28 @@ func main() {
 	setTag := func(t string) { tagMu.Lock(); curTag = t; tagMu.Unlock() }
 	getTag := func() string { tagMu.Lock(); defer tagMu.Unlock(); return curTag }
 
+	// shardTag suffixes the source fingerprint with the partition slice,
+	// so a shard's sealed segments never stand in for another shard's
+	// (or for the full database) on a shared -data-dir. project reduces
+	// a freshly built database to this process's slice of the zone-hash
+	// partition; sealed segments are written post-projection, so a warm
+	// boot adopts an already projected epoch.
+	shardTag := func(tag string) string {
+		if *shardCount > 1 {
+			return fmt.Sprintf("%s shard=%d/%d", tag, *shardID, *shardCount)
+		}
+		return tag
+	}
+	project := func(fresh *zonedb.DB) *zonedb.DB {
+		if *shardCount > 1 {
+			return fresh.View().FilterShard(*shardID, *shardCount)
+		}
+		return fresh
+	}
+
 	api := dzdbapi.NewWithRegistry(db, reg)
 	api.Log = logger
+	api.SetShardIdentity(*shardID, *shardCount)
 	api.SetCacheBytes(int64(*cacheSize) << 20)
 	api.SetRateLimit(*rateLimit, 0)
 	api.SetMaxInflight(*maxInflight)
@@ -179,6 +211,9 @@ func main() {
 		}
 		if v.Closed() {
 			rows = append(rows, daemon.KV{K: "close_day", V: v.CloseDay().String()})
+		}
+		if *shardCount > 1 {
+			rows = append(rows, daemon.KV{K: "shard", V: fmt.Sprintf("%d of %d", *shardID, *shardCount)})
 		}
 		if *load != "" {
 			rows = append(rows, daemon.KV{K: "archive", V: *load})
@@ -239,6 +274,7 @@ func main() {
 			storeCheck.Fail(err.Error())
 			fatal("fingerprinting source", err)
 		}
+		tag = shardTag(tag)
 		fresh, who := warmBoot(logger, st, tag)
 		warm := fresh != nil
 		if !warm {
@@ -247,6 +283,7 @@ func main() {
 				storeCheck.Fail(err.Error())
 				fatal("building database", err)
 			}
+			fresh = project(fresh)
 		}
 		db.Adopt(fresh)
 		setTag(tag)
@@ -289,6 +326,7 @@ func main() {
 				logger.Error("reload failed: fingerprinting archive", "err", err)
 				continue
 			}
+			tag = shardTag(tag)
 			if tag == getTag() {
 				logger.Info("SIGHUP: archive unchanged; keeping the current epoch", "path", *load)
 				continue
@@ -306,6 +344,7 @@ func main() {
 				logger.Error("reload failed; still serving the previous epoch", "err", err)
 				continue
 			}
+			fresh = project(fresh)
 			db.Adopt(fresh)
 			setTag(tag)
 			sealEpoch(logger, st, segCheck, db.View(), tag)

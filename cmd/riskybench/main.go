@@ -13,7 +13,9 @@
 //
 // -baseline compares the fresh numbers against a committed report and
 // exits nonzero when any ingest* or classify* workload regresses more
-// than 25% in ns/op — the CI guardrail for the parallel pipeline.
+// than 25% in ns/op, or when serve-load or cluster-serve p99 latency
+// does — the CI guardrails for the parallel pipeline and the serving
+// layers (single-node and coordinator).
 //
 // -profile captures a CPU and heap pprof profile per workload into DIR
 // (<workload>.cpu.pprof / <workload>.heap.pprof), so a regression in the
@@ -45,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dates"
 	"repro/internal/detect"
 	"repro/internal/dnsname"
@@ -450,8 +453,11 @@ func main() {
 
 	// The serving path: concurrent clients hammering the /v1 API and the
 	// delta feed of an in-process server, so BENCH_pipeline.json tracks
-	// serving p50/p95/p99, not just batch throughput.
+	// serving p50/p95/p99, not just batch throughput. cluster-serve runs
+	// the same mix through a coordinator fronting a two-shard fleet, so
+	// the coordination tax is a tracked number too.
 	workloads = append(workloads, serveLoad(ctx, db, *runs))
+	workloads = append(workloads, clusterServe(ctx, db, *runs))
 
 	root.End()
 
@@ -496,10 +502,11 @@ const maxRegression = 1.25
 
 // checkBaseline compares rep against a committed report. Every workload
 // present in both is logged; ingest*/classify* regressions beyond
-// maxRegression in ns/op fail the check, as does a serve-load p99
-// regression beyond the same bound (the serving-latency guardrail for
-// the response cache). simulate and detect wobble with the whole
-// pipeline and are tracked, not gated.
+// maxRegression in ns/op fail the check, as do serve-load and
+// cluster-serve p99 regressions beyond the same bound (the
+// serving-latency guardrails for the response cache and the
+// coordinator). simulate and detect wobble with the whole pipeline and
+// are tracked, not gated.
 func checkBaseline(rep report, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -527,7 +534,7 @@ func checkBaseline(rep report, path string) error {
 			failures = append(failures,
 				fmt.Sprintf("%s: %.0f%% of baseline ns/op", w.Name, 100*ratio))
 		}
-		if w.Name == "serve-load" && b.P99Ns > 0 && w.P99Ns > 0 {
+		if (w.Name == "serve-load" || w.Name == "cluster-serve") && b.P99Ns > 0 && w.P99Ns > 0 {
 			p99Ratio := float64(w.P99Ns) / float64(b.P99Ns)
 			logger.Info("baseline compare (p99)", "workload", w.Name,
 				"baseline_p99_ns", b.P99Ns, "p99_ns", w.P99Ns, "ratio", fmt.Sprintf("%.2f", p99Ratio))
@@ -551,17 +558,10 @@ const (
 	serveRequestsPerClient = 250
 )
 
-// serveLoad benchmarks the serving path: an in-process dzdbapi server
-// (the same handler dzdbd mounts) hammered by concurrent clients
-// rotating through the /v1 query endpoints and the delta feed. Items
-// are requests; P50/P95/P99 are per-request latencies pooled across
-// runs — the serving numbers the SLO layer tracks in production.
-func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
-	api := dzdbapi.New(db)
-	srv := httptest.NewServer(api)
-	defer srv.Close()
-
-	// A bounded sample of names to query, deterministic given the seed.
+// servePaths builds the request mix the serving workloads rotate
+// through: the summary endpoints, the delta feed, and a bounded sample
+// of domain and nameserver lookups, deterministic given the seed.
+func servePaths(db *zonedb.DB) []string {
 	var domains, nss []string
 	db.Domains(func(d dnsname.Name) bool {
 		domains = append(domains, string(d))
@@ -581,10 +581,17 @@ func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
 	for _, ns := range nss {
 		paths = append(paths, "/v1/nameservers/"+ns+"?limit=25")
 	}
+	return paths
+}
 
+// hammer is the shared request loop for the serving workloads:
+// serveClients concurrent clients rotating through paths against
+// baseURL. Items are requests; P50/P95/P99 are per-request latencies
+// pooled across runs.
+func hammer(ctx context.Context, name, span, baseURL string, paths []string, runs int) workloadResult {
 	var samples []int64 // pooled per-request latencies across runs
-	res := measure("serve-load", runs, func() int {
-		_, sp := trace.Start(ctx, "bench.serve.load")
+	res := measure(name, runs, func() int {
+		_, sp := trace.Start(ctx, span)
 		defer sp.End()
 		perClient := make([][]int64, serveClients)
 		var wg sync.WaitGroup
@@ -599,14 +606,14 @@ func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
 					// uniform but no two clients are in lockstep.
 					p := paths[(i*serveClients+c)%len(paths)]
 					t0 := time.Now()
-					resp, err := client.Get(srv.URL + p)
+					resp, err := client.Get(baseURL + p)
 					if err != nil {
-						fatalf("serve-load workload: GET %s: %v", p, err)
+						fatalf("%s workload: GET %s: %v", name, p, err)
 					}
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					if resp.StatusCode != http.StatusOK {
-						fatalf("serve-load workload: GET %s: status %d", p, resp.StatusCode)
+						fatalf("%s workload: GET %s: status %d", name, p, resp.StatusCode)
 					}
 					lat = append(lat, time.Since(t0).Nanoseconds())
 				}
@@ -625,9 +632,55 @@ func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
 	res.P50Ns = percentileNs(samples, 0.50)
 	res.P95Ns = percentileNs(samples, 0.95)
 	res.P99Ns = percentileNs(samples, 0.99)
+	return res
+}
+
+// serveLoad benchmarks the serving path: an in-process dzdbapi server
+// (the same handler dzdbd mounts) hammered by concurrent clients
+// rotating through the /v1 query endpoints and the delta feed — the
+// serving numbers the SLO layer tracks in production.
+func serveLoad(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
+	api := dzdbapi.New(db)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	res := hammer(ctx, "serve-load", "bench.serve.load", srv.URL, servePaths(db), runs)
 	res.CacheHitRatio = api.CacheStats().HitRatio()
 	logger.Info("serving percentiles", "p50_ns", res.P50Ns, "p95_ns", res.P95Ns, "p99_ns", res.P99Ns,
 		"cache_hit_ratio", fmt.Sprintf("%.3f", res.CacheHitRatio))
+	return res
+}
+
+// clusterServe benchmarks the same request mix through the cluster
+// layer: the reference world split across two shards by zone hash, each
+// shard served by its own in-process dzdbapi server, fronted by a
+// coordinator (the dzdbcoord serving path). The spread over serve-load
+// is the coordination tax — proxy hop for single-zone routes,
+// scatter-gather fan-out for nameserver queries, merged-feed serving
+// for /v1/deltas.
+func clusterServe(ctx context.Context, db *zonedb.DB, runs int) workloadResult {
+	const nShards = 2
+	urls := make([]string, nShards)
+	for i := 0; i < nShards; i++ {
+		api := dzdbapi.New(db.View().FilterShard(i, nShards))
+		api.SetShardIdentity(i, nShards)
+		srv := httptest.NewServer(api)
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	coord, err := cluster.New(cluster.Config{Shards: urls})
+	if err != nil {
+		fatalf("cluster-serve workload: %v", err)
+	}
+	if err := coord.SyncNow(ctx); err != nil {
+		fatalf("cluster-serve workload: initial fleet sync: %v", err)
+	}
+	front := httptest.NewServer(coord)
+	defer front.Close()
+
+	res := hammer(ctx, "cluster-serve", "bench.serve.cluster", front.URL, servePaths(db), runs)
+	logger.Info("cluster serving percentiles",
+		"p50_ns", res.P50Ns, "p95_ns", res.P95Ns, "p99_ns", res.P99Ns)
 	return res
 }
 

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/dzdbapi"
+)
+
+const (
+	// maxLongPollWait / sseBatchDays / defaultPushWriteTimeout mirror
+	// the single-node push layer's bounds.
+	maxLongPollWait         = 60 * time.Second
+	sseBatchDays            = 366
+	defaultPushWriteTimeout = 5 * time.Second
+)
+
+// mergedFeed is the fleet's totally ordered per-day change feed: each
+// shard's delta feed covers only its slice of the partition, and since
+// every fact (domain, edge, glue host) lives in exactly one zone —
+// hence exactly one shard — the per-day merge is a disjoint union.
+// Re-sorting each day restores the canonical order the delta package
+// emits, so a merged page is indistinguishable from a single-node one.
+// The feed is built once per fleet sync and served from memory: a
+// shard dying after a sync cannot corrupt or truncate the feed, which
+// is what makes exactly-once delivery across shard failure possible.
+type mergedFeed struct {
+	first, close dates.Day
+	// days[i] is the merged change set for day first+i; quiet days are
+	// present with Changes 0, same as the single-node feed.
+	days []dzdbapi.DayDeltaJSON
+}
+
+// mergeFeeds builds the fleet feed from per-shard pulls. Shards sealed
+// from the same archive share one close day (shard projections keep
+// the source's close verbatim), so the merged window is simply the
+// union of the shard windows.
+func mergeFeeds(pulls []*shardPull) *mergedFeed {
+	f := &mergedFeed{first: dates.None, close: dates.None}
+	for _, p := range pulls {
+		if p.deltas.FirstDay != dates.None && (f.first == dates.None || p.deltas.FirstDay < f.first) {
+			f.first = p.deltas.FirstDay
+		}
+		if p.deltas.CloseDay != dates.None && p.deltas.CloseDay > f.close {
+			f.close = p.deltas.CloseDay
+		}
+	}
+	if f.first == dates.None {
+		return f // every shard sealed empty
+	}
+	f.days = make([]dzdbapi.DayDeltaJSON, int(f.close-f.first)+1)
+	for i := range f.days {
+		f.days[i].Day = f.first + dates.Day(i)
+	}
+	for _, p := range pulls {
+		for _, dd := range p.deltas.Deltas {
+			if dd.Changes == 0 {
+				continue
+			}
+			m := &f.days[int(dd.Day-f.first)]
+			m.EdgesAdded = append(m.EdgesAdded, dd.EdgesAdded...)
+			m.EdgesRemoved = append(m.EdgesRemoved, dd.EdgesRemoved...)
+			m.DomainsAdded = append(m.DomainsAdded, dd.DomainsAdded...)
+			m.DomainsRemoved = append(m.DomainsRemoved, dd.DomainsRemoved...)
+			m.GlueAdded = append(m.GlueAdded, dd.GlueAdded...)
+			m.GlueRemoved = append(m.GlueRemoved, dd.GlueRemoved...)
+			m.Changes += dd.Changes
+		}
+	}
+	for i := range f.days {
+		sortDay(&f.days[i])
+	}
+	return f
+}
+
+// sortDay restores the delta package's canonical in-day order: edges
+// by (domain, ns), name lists lexically.
+func sortDay(d *dzdbapi.DayDeltaJSON) {
+	sortEdges := func(es []dzdbapi.DeltaEdge) {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Domain != es[j].Domain {
+				return es[i].Domain < es[j].Domain
+			}
+			return es[i].NS < es[j].NS
+		})
+	}
+	sortEdges(d.EdgesAdded)
+	sortEdges(d.EdgesRemoved)
+	sort.Slice(d.DomainsAdded, func(i, j int) bool { return d.DomainsAdded[i] < d.DomainsAdded[j] })
+	sort.Slice(d.DomainsRemoved, func(i, j int) bool { return d.DomainsRemoved[i] < d.DomainsRemoved[j] })
+	sort.Slice(d.GlueAdded, func(i, j int) bool { return d.GlueAdded[i] < d.GlueAdded[j] })
+	sort.Slice(d.GlueRemoved, func(i, j int) bool { return d.GlueRemoved[i] < d.GlueRemoved[j] })
+}
+
+// handleDeltas serves the merged feed with the same contract as a
+// single dzdbd: paginated pages, ?wait= long-poll, and SSE push. Pages
+// come from the last complete sync, so they are always whole — a day
+// is either fully merged or not served at all, never partial.
+func (c *Coordinator) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		c.handleDeltasSSE(w, r)
+		return
+	}
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		wait, err := time.ParseDuration(raw)
+		if err != nil || wait < 0 {
+			dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidWait,
+				"invalid wait %q (want a duration like 30s)", raw)
+			return
+		}
+		c.handleDeltasLongPoll(w, r, wait)
+		return
+	}
+	fs := c.fleet.Load()
+	if fs == nil {
+		c.notSynced(w)
+		return
+	}
+	resp, ok := c.buildDeltaPage(w, r, fs)
+	if !ok {
+		return
+	}
+	dzdbapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// notSynced answers a fleet-wide request made before the first
+// complete sync: retryable 503 with the heartbeat as the backoff hint.
+func (c *Coordinator) notSynced(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(c.cfg.heartbeat().Seconds())+1))
+	dzdbapi.WriteError(w, http.StatusServiceUnavailable, CodeNotSynced,
+		"fleet has not completed a sync yet; retry shortly")
+}
+
+// buildDeltaPage resolves one page of the merged feed, mirroring the
+// single-node page builder. ok=false means an error response has been
+// written.
+func (c *Coordinator) buildDeltaPage(w http.ResponseWriter, r *http.Request, fs *fleetState) (*dzdbapi.DeltasResponse, bool) {
+	feed := fs.feed
+	resp := &dzdbapi.DeltasResponse{Epoch: fs.epoch, FirstDay: feed.first, CloseDay: feed.close}
+	from := feed.first
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		d, err := dates.Parse(raw)
+		if err != nil {
+			dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidDate,
+				"invalid from %q (want YYYY-MM-DD)", raw)
+			return nil, false
+		}
+		if d > from {
+			from = d
+		}
+	}
+	if from == dates.None || from > feed.close {
+		resp.Deltas = []dzdbapi.DayDeltaJSON{}
+		return resp, true
+	}
+	n := int(feed.close-from) + 1
+	start, end, next, ok := dzdbapi.PageWindow(w, r, n, func(i int) string { return (from + dates.Day(i)).String() })
+	if !ok {
+		return nil, false
+	}
+	off := int(from - feed.first)
+	resp.Deltas = feed.days[off+start : off+end]
+	resp.NextCursor = next
+	return resp, true
+}
+
+// handleDeltasLongPoll parks an empty window on the fleet-sync signal
+// until a sync makes it non-empty or the wait expires.
+func (c *Coordinator) handleDeltasLongPoll(w http.ResponseWriter, r *http.Request, wait time.Duration) {
+	if wait > maxLongPollWait {
+		wait = maxLongPollWait
+	}
+	deadline := time.Now().Add(wait)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		ch := c.signal.wait()
+		fs := c.fleet.Load()
+		expired := !time.Now().Before(deadline)
+		if fs != nil {
+			resp, ok := c.buildDeltaPage(w, r, fs)
+			if !ok {
+				return
+			}
+			if len(resp.Deltas) > 0 || expired {
+				dzdbapi.WriteJSON(w, http.StatusOK, resp)
+				return
+			}
+		} else if expired {
+			c.notSynced(w)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-timer.C:
+		case <-ch:
+		}
+	}
+}
+
+// handleDeltasSSE streams the merged feed: everything already synced,
+// then each new fleet epoch's days as syncs land.
+func (c *Coordinator) handleDeltasSSE(w http.ResponseWriter, r *http.Request) {
+	pos := dates.None
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		d, err := dates.Parse(raw)
+		if err != nil {
+			dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidDate,
+				"invalid from %q (want YYYY-MM-DD)", raw)
+			return
+		}
+		pos = d
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	for {
+		ch := c.signal.wait()
+		if fs := c.fleet.Load(); fs != nil && fs.feed.first != dates.None {
+			feed := fs.feed
+			if pos == dates.None || pos < feed.first {
+				pos = feed.first
+			}
+			for pos <= feed.close {
+				end := pos + sseBatchDays - 1
+				if end > feed.close {
+					end = feed.close
+				}
+				resp := dzdbapi.DeltasResponse{Epoch: fs.epoch, FirstDay: feed.first, CloseDay: feed.close}
+				off := int(pos - feed.first)
+				resp.Deltas = feed.days[off : off+int(end-pos)+1]
+				if err := c.writeSSEEvent(w, rc, "deltas", resp); err != nil {
+					return
+				}
+				pos = end + 1
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func (c *Coordinator) pushTimeout() time.Duration {
+	if c.PushWriteTimeout > 0 {
+		return c.PushWriteTimeout
+	}
+	return defaultPushWriteTimeout
+}
+
+func (c *Coordinator) writeSSEEvent(w http.ResponseWriter, rc *http.ResponseController, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := rc.SetWriteDeadline(time.Now().Add(c.pushTimeout())); err != nil && c.log != nil {
+		c.log.Warn("push: no write-deadline support; slow consumers unbounded", "err", err)
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	return rc.Flush()
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/dnsname"
+	"repro/internal/dzdbapi"
+	"repro/internal/zonedb"
+)
+
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("GET /v1/zones", c.handleZones)
+	c.mux.HandleFunc("GET /v1/top/nameservers", c.handleTopNS)
+	c.mux.HandleFunc("GET /v1/nameservers/{name}", c.handleNameserver)
+	c.mux.HandleFunc("GET /v1/domains/{name}", c.handleDomain)
+	c.mux.HandleFunc("GET /v1/zones/{zone}/snapshot", c.handleSnapshot)
+	c.mux.HandleFunc("GET /v1/deltas", c.handleDeltas)
+	c.mux.HandleFunc("GET /v1/cluster/shards", c.handleShards)
+}
+
+// ServeHTTP serves the coordinator's /v1 surface.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// markPartial stamps degraded fleet-wide answers: the served state is
+// the last complete sync, but with a shard down it may trail a reload
+// that shard already took, so the envelope says so explicitly.
+func (c *Coordinator) markPartial(set func(bool)) {
+	if c.degraded() {
+		set(true)
+		c.partialN.Inc()
+	}
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	fs := c.fleet.Load()
+	if fs == nil {
+		c.notSynced(w)
+		return
+	}
+	resp := fs.stats
+	c.markPartial(func(v bool) { resp.Partial = v })
+	dzdbapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleZones(w http.ResponseWriter, r *http.Request) {
+	fs := c.fleet.Load()
+	if fs == nil {
+		c.notSynced(w)
+		return
+	}
+	start, end, next, ok := dzdbapi.PageWindow(w, r, len(fs.zones), func(i int) string { return fs.zones[i] })
+	if !ok {
+		return
+	}
+	resp := dzdbapi.ZonesResponse{Zones: fs.zones[start:end], NextCursor: next}
+	c.markPartial(func(v bool) { resp.Partial = v })
+	dzdbapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleTopNS(w http.ResponseWriter, r *http.Request) {
+	fs := c.fleet.Load()
+	if fs == nil {
+		c.notSynced(w)
+		return
+	}
+	limit := defaultTopNSLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidLimit, "invalid limit %q", raw)
+			return
+		}
+		if v > 0 {
+			limit = v
+		}
+	}
+	if limit > topNSKeep {
+		limit = topNSKeep
+	}
+	rows := fs.topNS
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	if rows == nil {
+		rows = []dzdbapi.TopNameserver{}
+	}
+	resp := dzdbapi.TopNameserversResponse{Nameservers: rows}
+	c.markPartial(func(v bool) { resp.Partial = v })
+	dzdbapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleNameserver scatter-gathers a nameserver's exposure live from
+// every shard: a nameserver serves domains across many zones, so no
+// single shard owns the answer. Shard answers are disjoint (each
+// domain lives on exactly one shard), so lists concatenate and
+// summaries sum exactly. A shard that cannot answer degrades the
+// response to partial: true rather than failing the whole query.
+func (c *Coordinator) handleNameserver(w http.ResponseWriter, r *http.Request) {
+	name, err := dnsname.Parse(r.PathValue("name"))
+	if err != nil {
+		dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidName,
+			"invalid name %q: %v", r.PathValue("name"), err)
+		return
+	}
+	type result struct {
+		resp *dzdbapi.NameserverResponse
+		err  error
+	}
+	results := make([]result, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		if !sh.isUp() {
+			results[i].err = errors.New("shard down")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			results[i].resp, results[i].err = sh.data.NameserverPage(r.Context(), name, "", 0)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := dzdbapi.NameserverResponse{Name: string(name)}
+	found, failed := false, false
+	for _, res := range results {
+		if res.err != nil {
+			var ae *dzdbapi.APIError
+			if errors.As(res.err, &ae) && ae.Status == http.StatusNotFound {
+				continue // not observed on that shard
+			}
+			failed = true
+			continue
+		}
+		found = true
+		sr := res.resp
+		if resp.FirstSeen == "" || (sr.FirstSeen != "" && sr.FirstSeen < resp.FirstSeen) {
+			resp.FirstSeen = sr.FirstSeen
+		}
+		if len(sr.GlueSpans) > 0 {
+			resp.GlueSpans = sr.GlueSpans // glue lives in exactly one zone
+		}
+		resp.Domains = append(resp.Domains, sr.Domains...)
+		resp.Summary.Domains += sr.Summary.Domains
+		resp.Summary.DomainDays += sr.Summary.DomainDays
+	}
+	if !found {
+		if failed {
+			w.Header().Set("Retry-After", strconv.Itoa(int(c.cfg.heartbeat().Seconds())+1))
+			dzdbapi.WriteError(w, http.StatusServiceUnavailable, CodeShardUnavailable,
+				"no shard could answer for %s", name)
+			return
+		}
+		dzdbapi.WriteError(w, http.StatusNotFound, dzdbapi.CodeNotFound, "nameserver %s not observed", name)
+		return
+	}
+	sort.Slice(resp.Domains, func(i, j int) bool { return resp.Domains[i].Domain < resp.Domains[j].Domain })
+	start, end, next, ok := dzdbapi.PageWindow(w, r, len(resp.Domains), func(i int) string { return resp.Domains[i].Domain })
+	if !ok {
+		return
+	}
+	resp.Domains = resp.Domains[start:end]
+	resp.NextCursor = next
+	if failed || c.degraded() {
+		resp.Partial = true
+		c.partialN.Inc()
+	}
+	dzdbapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleDomain routes a domain lookup to the shard owning the
+// domain's zone and relays the shard's response verbatim.
+func (c *Coordinator) handleDomain(w http.ResponseWriter, r *http.Request) {
+	name, err := dnsname.Parse(r.PathValue("name"))
+	if err != nil {
+		dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidName,
+			"invalid name %q: %v", r.PathValue("name"), err)
+		return
+	}
+	c.proxyTo(w, r, "/v1/domains/{name}", c.shards[zonedb.ShardOf(name.TLD(), len(c.shards))])
+}
+
+// handleSnapshot routes a zone snapshot to the owning shard.
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	zone, err := dnsname.Parse(r.PathValue("zone"))
+	if err != nil {
+		dzdbapi.WriteError(w, http.StatusBadRequest, dzdbapi.CodeInvalidName,
+			"invalid name %q: %v", r.PathValue("zone"), err)
+		return
+	}
+	c.proxyTo(w, r, "/v1/zones/{zone}/snapshot", c.shards[zonedb.ShardOf(zone, len(c.shards))])
+}
+
+// proxyTo relays one request to its owning shard byte-for-byte:
+// conditional and encoding negotiation headers forward, and the
+// shard's status, headers (ETag included), and body come back
+// untouched — so single-zone responses through the coordinator are
+// the bytes the shard produced.
+func (c *Coordinator) proxyTo(w http.ResponseWriter, r *http.Request, route string, sh *shard) {
+	if !sh.isUp() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(c.cfg.heartbeat().Seconds())+1))
+		dzdbapi.WriteError(w, http.StatusServiceUnavailable, CodeShardUnavailable,
+			"shard %d owning this zone is unavailable", sh.id)
+		c.proxied.With(route, "unavailable").Inc()
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.url+r.URL.RequestURI(), nil)
+	if err != nil {
+		dzdbapi.WriteError(w, http.StatusInternalServerError, dzdbapi.CodeInternal, "building shard request: %v", err)
+		c.proxied.With(route, "error").Inc()
+		return
+	}
+	// Setting Accept-Encoding explicitly (identity when the client sent
+	// none) disables the Go transport's transparent gzip, so whatever
+	// representation the shard negotiated relays verbatim.
+	if ae := r.Header.Get("Accept-Encoding"); ae != "" {
+		req.Header.Set("Accept-Encoding", ae)
+	} else {
+		req.Header.Set("Accept-Encoding", "identity")
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := sh.proxy.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			c.proxied.With(route, "canceled").Inc()
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(c.cfg.heartbeat().Seconds())+1))
+		dzdbapi.WriteError(w, http.StatusServiceUnavailable, CodeShardUnavailable,
+			"shard %d unreachable: %v", sh.id, err)
+		c.proxied.With(route, "error").Inc()
+		return
+	}
+	defer resp.Body.Close()
+	for k, vv := range resp.Header {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding":
+			continue
+		}
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	c.proxied.With(route, strconv.Itoa(resp.StatusCode)).Inc()
+}
+
+// handleShards is the cluster introspection route: per-shard
+// membership, health, and epochs, plus the fleet epoch.
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	dzdbapi.WriteJSON(w, http.StatusOK, struct {
+		FleetEpoch uint64        `json:"fleet_epoch"`
+		Degraded   bool          `json:"degraded"`
+		Shards     []ShardStatus `json:"shards"`
+	}{c.FleetEpoch(), c.degraded(), c.Shards()})
+}

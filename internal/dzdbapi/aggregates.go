@@ -27,6 +27,9 @@ type TopNameserver struct {
 // TopNameserversResponse is the /v1/top/nameservers payload.
 type TopNameserversResponse struct {
 	Nameservers []TopNameserver `json:"nameservers"`
+	// Partial marks a degraded coordinator answer (see
+	// NameserverResponse.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // aggregates holds the precomputed hot answers for one epoch: the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -31,11 +32,17 @@ const (
 
 // cacheEntry is one cached 200 response body. The ETag is not stored:
 // it is recomputed from (epoch, key), which is also what makes 304
-// evaluation possible without touching the cache at all.
+// evaluation possible without touching the cache at all. enc records
+// the body's Content-Encoding ("" = identity); the encoding is part of
+// the cache key, so one key never serves mixed encodings. hits counts
+// lookups that found this entry — the heat signal the Adopt-time
+// warmer uses to pick which keys to re-render into the next epoch.
 type cacheEntry struct {
 	key   string
 	ctype string
+	enc   string
 	body  []byte
+	hits  uint64
 }
 
 // respCache is the in-process response cache. Every entry belongs to
@@ -92,13 +99,15 @@ func (c *respCache) get(epoch uint64, key string) (cacheEntry, bool) {
 	}
 	c.order.MoveToFront(el)
 	c.hits++
-	return el.Value.(cacheEntry), true
+	e := el.Value.(*cacheEntry)
+	e.hits++
+	return *e, true
 }
 
 // put stores a 200 body for key under epoch, evicting least-recently
 // used entries past the byte budget. Bodies from superseded epochs and
 // oversized bodies are dropped on the floor.
-func (c *respCache) put(epoch uint64, key, ctype string, body []byte) {
+func (c *respCache) put(epoch uint64, key, ctype, enc string, body []byte) {
 	if int64(len(body)) > maxCacheBody || int64(len(body)) > c.capBytes {
 		return
 	}
@@ -111,12 +120,12 @@ func (c *respCache) put(epoch uint64, key, ctype string, body []byte) {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		old := el.Value.(cacheEntry)
+		old := el.Value.(*cacheEntry)
 		c.bytes += int64(len(body)) - int64(len(old.body))
-		el.Value = cacheEntry{key: key, ctype: ctype, body: body}
+		old.ctype, old.enc, old.body = ctype, enc, body
 		c.order.MoveToFront(el)
 	} else {
-		el := c.order.PushFront(cacheEntry{key: key, ctype: ctype, body: body})
+		el := c.order.PushFront(&cacheEntry{key: key, ctype: ctype, enc: enc, body: body})
 		c.entries[key] = el
 		c.bytes += int64(len(body))
 	}
@@ -125,12 +134,52 @@ func (c *respCache) put(epoch uint64, key, ctype string, body []byte) {
 		if back == nil {
 			break
 		}
-		e := back.Value.(cacheEntry)
+		e := back.Value.(*cacheEntry)
 		c.order.Remove(back)
 		delete(c.entries, e.key)
 		c.bytes -= int64(len(e.body))
 		c.evictions++
 	}
+}
+
+// hottest returns up to k cache keys of the current epoch ordered by
+// hit count, ties broken most-recently-used first. Keys that were
+// filled but never hit again are skipped — re-rendering them would be
+// speculation, not warming.
+func (c *respCache) hottest(k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	type heat struct {
+		key  string
+		hits uint64
+		pos  int
+	}
+	rows := make([]heat, 0, len(c.entries))
+	pos := 0
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.hits > 0 {
+			rows = append(rows, heat{key: e.key, hits: e.hits, pos: pos})
+		}
+		pos++
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].hits != rows[j].hits {
+			return rows[i].hits > rows[j].hits
+		}
+		return rows[i].pos < rows[j].pos
+	})
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.key
+	}
+	return out
 }
 
 // bump retires the working set when a newer epoch publishes; puts and

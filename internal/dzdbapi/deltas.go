@@ -83,6 +83,12 @@ type DeltasResponse struct {
 	CloseDay   dates.Day      `json:"close_day"`
 	Deltas     []DayDeltaJSON `json:"deltas"`
 	NextCursor string         `json:"next_cursor,omitempty"`
+	// Partial marks a degraded coordinator answer (see
+	// NameserverResponse.Partial). The merged feed never serves partial
+	// pages — a day is either complete or withheld — so coordinators
+	// leave it false; it exists for forward compatibility of the
+	// envelope.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // deltaCache memoizes the delta index per published epoch. Building the

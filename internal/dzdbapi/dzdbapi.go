@@ -126,6 +126,12 @@ type NameserverResponse struct {
 	// NextCursor resumes the Domains list on the next page; empty on the
 	// last (or an unpaginated) response.
 	NextCursor string `json:"next_cursor,omitempty"`
+	// Partial marks a degraded fleet-wide answer: the cluster
+	// coordinator sets it when one or more shards were unreachable, so
+	// the lists and summary may undercount. Single-node servers never
+	// set it, and omitempty keeps healthy responses byte-identical to
+	// pre-cluster ones.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // DomainOfNS is one domain that delegated to the nameserver.
@@ -145,12 +151,18 @@ type StatsResponse struct {
 	Domains     int      `json:"domains"`
 	Nameservers int      `json:"nameservers"`
 	Zones       []string `json:"zones"`
+	// Partial marks a degraded coordinator answer (see
+	// NameserverResponse.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ZonesResponse is the /v1/zones payload.
 type ZonesResponse struct {
 	Zones      []string `json:"zones"`
 	NextCursor string   `json:"next_cursor,omitempty"`
+	// Partial marks a degraded coordinator answer (see
+	// NameserverResponse.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // store is the read surface a request needs. Requests normally get the
@@ -187,6 +199,11 @@ type Server struct {
 	agg    atomic.Pointer[aggregates]
 	signal *epochSignal
 
+	// Adopt-time cache warming (see SetWarmKeys / warm).
+	warmKeys    int
+	warmKeysSet bool
+	cacheWarmed *obs.Counter
+
 	// Protection: per-client token buckets and the concurrency cap.
 	limits      *limiter
 	maxInflight int64
@@ -194,6 +211,11 @@ type Server struct {
 	streams     atomic.Int64
 	shedRateN   atomic.Uint64
 	shedLoadN   atomic.Uint64
+
+	// shardID/shardCount identify this server's slice of a cluster
+	// partition (0 of 1 when unsharded); see SetShardIdentity.
+	shardID    int
+	shardCount int
 
 	legacy        *obs.CounterVec // MetricLegacyRequests{route}
 	cacheReqs     *obs.CounterVec // MetricCacheRequests{route,outcome}
@@ -244,6 +266,7 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 	s.cacheEntries = reg.Gauge(MetricCacheEntries, "Response cache resident entries.")
 	s.cacheBytes = reg.Gauge(MetricCacheBytes, "Response cache resident body bytes.")
 	s.cacheRatio = reg.FloatGauge(MetricCacheHitRatio, "Response cache hit ratio since start.")
+	s.cacheWarmed = reg.Counter(MetricCacheWarmed, "Cache entries re-rendered into a fresh epoch at publish time.")
 	s.shedTotal = reg.CounterVec(MetricShed,
 		"Requests shed by the protection layer, by route and error code.", "route", "code")
 	s.inflightGauge = reg.Gauge(MetricInflight, "Requests currently being served.")
@@ -265,6 +288,10 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 	s.handle("GET /v1/zones/{zone}/snapshot", "/v1/zones/{zone}/snapshot", s.handleSnapshot)
 	s.handle("GET /v1/deltas", "/v1/deltas", s.handleDeltas)
 
+	// Internal shard-to-coordinator surface (not part of the public API).
+	s.handle("GET /v1/internal/shard-info", "/v1/internal/shard-info", s.handleShardInfo)
+	s.handle("GET /v1/internal/ns-exposure", "/v1/internal/ns-exposure", s.handleNSExposure)
+
 	// Legacy unversioned aliases, kept for one release. They keep their
 	// own route labels so deprecated traffic stays visible in metrics.
 	s.handle("GET /stats", "/stats", s.deprecated("/stats", "/v1/stats", s.handleStats))
@@ -276,13 +303,21 @@ func NewWithRegistry(db *zonedb.DB, reg *obs.Registry) *Server {
 }
 
 // onPublish is the zonedb publish hook: refresh the hot aggregates for
-// the new epoch, retire the response cache's old working set, and wake
-// every parked push connection. It runs on the publishing goroutine
-// (Close/Adopt caller), outside the DB's write lock.
+// the new epoch, retire the response cache's old working set, re-render
+// the retiring epoch's hottest keys into the new one, and only then
+// wake every parked push connection — so by the time consumers see the
+// new epoch, its hot set is already cached. It runs on the publishing
+// goroutine (Close/Adopt caller), outside the DB's write lock.
 func (s *Server) onPublish(v *zonedb.View) {
+	var hot []string
+	if s.cache != nil {
+		// Snapshot the heat ranking before the flush erases it.
+		hot = s.cache.hottest(s.warmCount())
+	}
 	s.agg.Store(computeAggregates(v.Epoch(), v))
 	if s.cache != nil {
 		s.cache.bump(v.Epoch())
+		s.warm(hot)
 		s.updateCacheGauges()
 	}
 	s.signal.broadcast()
@@ -384,6 +419,13 @@ type handlerFunc func(w http.ResponseWriter, r *http.Request, st store)
 // one starts a fresh root span.
 func (s *Server) handle(pattern, route string, handler handlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if isWarmRequest(r) {
+			// Self-inflicted warm replay: fill the cache, but keep it
+			// out of the traffic metrics, logs, and traces.
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			s.serve(sw, r, route, false, handler)
+			return
+		}
 		start := s.obs.Now()
 		ctx := r.Context()
 		remote, hasRemote := trace.Extract(r.Header)
@@ -430,11 +472,13 @@ func (s *Server) handle(pattern, route string, handler handlerFunc) {
 // their Deprecation/Sunset headers per-request, the latter because a
 // stream is not a representation).
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, isPush bool, handler handlerFunc) {
-	release, ok := s.admit(w, r, route, isPush)
-	if !ok {
-		return
+	if !isWarmRequest(r) {
+		release, ok := s.admit(w, r, route, isPush)
+		if !ok {
+			return
+		}
+		defer release()
 	}
-	defer release()
 	st := s.store()
 	v, isView := st.(*zonedb.View)
 	if !isView || isPush || !strings.HasPrefix(route, "/v1/") {
@@ -442,6 +486,20 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, isP
 		return
 	}
 	key := cacheKey(r)
+	enc := ""
+	if compressibleRoute(route) {
+		// The representation varies by Accept-Encoding whether or not
+		// this request negotiated gzip, so downstream caches must split
+		// on it either way.
+		w.Header().Add("Vary", "Accept-Encoding")
+		if acceptsGzip(r) {
+			enc = "gzip"
+			// The encoding is part of the cache key, which also makes
+			// the derived ETag encoding-aware: the gzip and identity
+			// variants never share a validator.
+			key += gzipKeySuffix
+		}
+	}
 	etag := makeETag(v.Epoch(), key)
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		// The epoch is the validator: the client's representation came
@@ -454,13 +512,16 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, isP
 	}
 	if s.cache == nil {
 		rec := &recordingWriter{ResponseWriter: w, etag: etag, tooBig: true}
-		handler(rec, r, st)
+		s.runHandler(rec, r, st, enc, handler)
 		return
 	}
 	if e, hit := s.cache.get(v.Epoch(), key); hit {
 		h := w.Header()
 		h.Set("ETag", etag)
 		h.Set("Content-Type", e.ctype)
+		if e.enc != "" {
+			h.Set("Content-Encoding", e.enc)
+		}
 		h.Set("X-Cache", "hit")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(e.body)
@@ -468,15 +529,33 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, isP
 		s.updateCacheGauges()
 		return
 	}
-	s.cacheReqs.With(route, "miss").Inc()
+	outcome := "miss"
+	if isWarmRequest(r) {
+		outcome = "warm"
+	}
+	s.cacheReqs.With(route, outcome).Inc()
 	w.Header().Set("X-Cache", "miss")
 	rec := &recordingWriter{ResponseWriter: w, etag: etag}
-	handler(rec, r, st)
+	s.runHandler(rec, r, st, enc, handler)
 	if rec.status == http.StatusOK && !rec.tooBig {
-		s.cache.put(v.Epoch(), key, rec.Header().Get("Content-Type"),
+		s.cache.put(v.Epoch(), key, rec.Header().Get("Content-Type"), enc,
 			append([]byte(nil), rec.buf.Bytes()...))
 	}
 	s.updateCacheGauges()
+}
+
+// runHandler invokes handler, interposing a gzip compressor when the
+// request negotiated one. The recording writer sits below the
+// compressor, so what it captures (and the cache stores) is the
+// compressed variant.
+func (s *Server) runHandler(w http.ResponseWriter, r *http.Request, st store, enc string, handler handlerFunc) {
+	if enc != "gzip" {
+		handler(w, r, st)
+		return
+	}
+	gz := newGzipWriter(w)
+	handler(gz, r, st)
+	_ = gz.Close()
 }
 
 // storeEpoch returns the epoch of a pinned View, or 0 for a live-DB
@@ -528,6 +607,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// WriteJSON renders v exactly as every v1 handler does (two-space
+// indent, application/json). The cluster coordinator uses it so merged
+// responses are byte-identical to a single node's rendering of the same
+// value.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError renders the uniform v1 error envelope. Exported for the
+// cluster coordinator, which must speak the same error dialect as the
+// shards it fronts.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeError(w, status, code, format, args...)
+}
+
+// PageWindow resolves ?cursor=&limit= against a sorted list of n keys,
+// exactly as the v1 list handlers do: it returns the [start, end)
+// window and the next cursor ("" when the window reaches the end);
+// limit == 0 means no pagination. The bool is false if the request was
+// malformed — an error response has already been written. Exported so
+// the cluster coordinator paginates merged lists with identical cursor
+// semantics (cursors are interchangeable between shard and coordinator).
+func PageWindow(w http.ResponseWriter, r *http.Request, n int, keyAt func(int) string) (int, int, string, bool) {
+	return pageWindow(w, r, n, keyAt)
 }
 
 // Error codes carried in the v1 error envelope.

@@ -144,7 +144,9 @@ func TestResponseCacheHit(t *testing.T) {
 
 // TestAdoptFlipsETagAndCache is the invalidation story end to end:
 // adopting a new archive flips the epoch, so every prior ETag stops
-// matching and the response cache starts cold for the new epoch.
+// matching — and the Adopt-time warmer re-renders the hottest keys of
+// the retiring epoch into the new one, so a hot key's first post-adopt
+// request is already a cache hit carrying the NEW epoch's body.
 func TestAdoptFlipsETagAndCache(t *testing.T) {
 	db := testDB()
 	srv := New(db)
@@ -161,8 +163,8 @@ func TestAdoptFlipsETagAndCache(t *testing.T) {
 	db.Adopt(testDB2())
 
 	resp := get(t, ts.URL+"/v1/stats")
-	if got := resp.Header.Get("X-Cache"); got != "miss" {
-		t.Errorf("post-adopt X-Cache = %q, want miss (cache flushed)", got)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("post-adopt X-Cache = %q, want hit (warmed at Adopt)", got)
 	}
 	etag2 := resp.Header.Get("ETag")
 	if etag2 == etag1 {

@@ -1,0 +1,73 @@
+package dzdbapi
+
+import (
+	"net/http"
+	"strings"
+)
+
+// MetricCacheWarmed counts cache entries re-rendered into a fresh epoch
+// by the Adopt-time warmer.
+const MetricCacheWarmed = "dzdb_cache_warmed_total"
+
+// defaultWarmKeys is how many of the retiring epoch's hottest cache
+// keys are re-rendered into a new epoch when the embedder never calls
+// SetWarmKeys.
+const defaultWarmKeys = 32
+
+// warmHeader marks a synthetic request the server issues against its
+// own mux to pre-fill the response cache at publish time. Warm requests
+// skip the protection layer (they are self-inflicted, not client load)
+// and the request metrics (they are not traffic).
+const warmHeader = "X-Dzdb-Warm"
+
+func isWarmRequest(r *http.Request) bool { return r.Header.Get(warmHeader) != "" }
+
+// SetWarmKeys sets how many of the hottest cache keys are re-rendered
+// into each new epoch at publish time (default 32); k <= 0 disables
+// warming. Call before serving.
+func (s *Server) SetWarmKeys(k int) { s.warmKeys = k; s.warmKeysSet = true }
+
+func (s *Server) warmCount() int {
+	if s.warmKeysSet {
+		return s.warmKeys
+	}
+	return defaultWarmKeys
+}
+
+// warm replays the given cache keys through the server's own mux so
+// their responses land in the (already bumped) new-epoch cache before
+// the publish broadcast wakes any consumer. A reload therefore does not
+// turn the hot working set into a miss storm: the first real request
+// after Adopt finds its body already rendered. Gzip-variant keys are
+// replayed with the matching Accept-Encoding so the exact variant is
+// refilled. Runs on the publishing goroutine; cost is bounded by
+// SetWarmKeys many handler renders.
+func (s *Server) warm(keys []string) {
+	for _, key := range keys {
+		gz := strings.HasSuffix(key, gzipKeySuffix)
+		target := strings.TrimSuffix(key, gzipKeySuffix)
+		if !strings.HasPrefix(target, "/") {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodGet, "http://dzdb.internal"+target, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(warmHeader, "1")
+		if gz {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		s.mux.ServeHTTP(&discardWriter{h: make(http.Header)}, req)
+		s.cacheWarmed.Inc()
+	}
+}
+
+// discardWriter swallows a warm replay's response; the side effect —
+// the cache fill inside the middleware — is the point.
+type discardWriter struct {
+	h http.Header
+}
+
+func (w *discardWriter) Header() http.Header        { return w.h }
+func (w *discardWriter) WriteHeader(int)            {}
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }

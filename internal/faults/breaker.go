@@ -56,6 +56,14 @@ type Breaker struct {
 	HalfOpenProbes int
 	// Now supplies the clock; overridable in tests. Defaults to time.Now.
 	Now func() time.Time
+	// IsFailure classifies an admitted call's error: only errors for
+	// which it returns true count toward tripping the breaker; others
+	// are treated as successes (the backend answered, just not with
+	// what the caller wanted). Nil counts every non-nil error. Set it
+	// to exclude application-level responses a healthy server produces
+	// on purpose — steady traffic asking for absent keys (HTTP 404s)
+	// must not open the circuit to a perfectly healthy backend.
+	IsFailure func(error) bool
 
 	mu        sync.Mutex
 	state     State
@@ -165,8 +173,12 @@ func (b *Breaker) Allow() error {
 	return nil
 }
 
-// Record reports the outcome of an admitted call.
+// Record reports the outcome of an admitted call. Errors the IsFailure
+// classifier rejects are recorded as successes.
 func (b *Breaker) Record(err error) {
+	if err != nil && b.IsFailure != nil && !b.IsFailure(err) {
+		err = nil
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {

@@ -184,6 +184,36 @@ func TestBreakerHalfOpenLimitsProbes(t *testing.T) {
 	}
 }
 
+func TestBreakerIsFailureClassifier(t *testing.T) {
+	benign := errors.New("not found")
+	hard := errors.New("connection refused")
+	b := &Breaker{Name: "edge", FailureThreshold: 2,
+		IsFailure: func(err error) bool { return errors.Is(err, hard) }}
+
+	// Benign errors never trip the breaker, no matter how many.
+	for i := 0; i < 10; i++ {
+		b.Record(benign)
+	}
+	if b.State() != Closed {
+		t.Fatalf("benign errors tripped the breaker: %v", b.State())
+	}
+
+	// They also reset the consecutive-failure count, like a success.
+	b.Record(hard)
+	b.Record(benign)
+	b.Record(hard)
+	if b.State() != Closed {
+		t.Fatal("benign error should break the consecutive-failure run")
+	}
+
+	// Hard failures still trip it.
+	b.Record(hard)
+	b.Record(hard)
+	if b.State() != Open {
+		t.Fatalf("hard failures should trip: %v", b.State())
+	}
+}
+
 func TestDeadlineClipsToContext(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(10*time.Millisecond))
 	defer cancel()

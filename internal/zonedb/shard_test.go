@@ -1,0 +1,132 @@
+package zonedb
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/dnsname"
+)
+
+// TestShardOfMatchesZoneWorker pins the cluster partition function to
+// the parallel-ingest worker mapping: shard placement and ingest
+// affinity must never drift apart.
+func TestShardOfMatchesZoneWorker(t *testing.T) {
+	zones := []string{"com", "biz", "org", "net", "info", "io", "dev", "xyz"}
+	for _, z := range zones {
+		name := dnsname.MustParse(z)
+		for _, n := range []int{1, 2, 3, 8} {
+			if got, want := ShardOf(name, n), zoneWorker(name, n); got != want {
+				t.Fatalf("ShardOf(%s,%d) = %d, zoneWorker = %d", z, n, got, want)
+			}
+			if s := ShardOf(name, n); s < 0 || s >= n {
+				t.Fatalf("ShardOf(%s,%d) = %d out of range", z, n, s)
+			}
+		}
+	}
+}
+
+func mustDay(t *testing.T, s string) dates.Day {
+	t.Helper()
+	d, err := dates.Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", s, err)
+	}
+	return d
+}
+
+// TestFilterZonesPartition builds a two-zone database, splits it into
+// per-zone shards, and checks each shard holds exactly its zone's facts
+// while preserving the GLOBAL close day — the property the merged delta
+// feed depends on.
+func TestFilterZonesPartition(t *testing.T) {
+	com := dnsname.MustParse("com")
+	biz := dnsname.MustParse("biz")
+	exCom := dnsname.MustParse("example.com")
+	exBiz := dnsname.MustParse("shop.biz")
+	ns := dnsname.MustParse("ns1.example.com")
+
+	db := New()
+	db.DomainAdded(com, exCom, mustDay(t, "2020-01-01"))
+	db.DelegationAdded(com, exCom, ns, mustDay(t, "2020-01-01"))
+	db.GlueAdded(com, ns, mustDay(t, "2020-01-01"))
+	db.DomainAdded(biz, exBiz, mustDay(t, "2020-01-05"))
+	db.DelegationAdded(biz, exBiz, ns, mustDay(t, "2020-01-05"))
+	db.CloseZones(map[dnsname.Name]dates.Day{
+		com: mustDay(t, "2020-03-01"),
+		biz: mustDay(t, "2020-01-20"),
+	})
+	v := db.View()
+
+	comDB := v.FilterZones(func(z dnsname.Name) bool { return z == com })
+	bizDB := v.FilterZones(func(z dnsname.Name) bool { return z == biz })
+	cv, bv := comDB.View(), bizDB.View()
+
+	// The biz shard's close day is the GLOBAL close day, not biz's own
+	// last day — otherwise its delta feed would drop the remove events
+	// that single-node processing records after biz went quiet.
+	if got, want := bv.CloseDay(), v.CloseDay(); got != want {
+		t.Errorf("biz shard CloseDay = %s, want global %s", got, want)
+	}
+	if !bv.Closed() || !cv.Closed() {
+		t.Error("shards must inherit the closed flag")
+	}
+
+	if got := cv.Zones(); len(got) != 1 || got[0] != com {
+		t.Errorf("com shard zones = %v", got)
+	}
+	if cv.NumDomains() != 1 || bv.NumDomains() != 1 {
+		t.Errorf("domains split = %d/%d, want 1/1", cv.NumDomains(), bv.NumDomains())
+	}
+	if cv.DomainSpans(exBiz) != nil {
+		t.Error("com shard leaked a biz domain")
+	}
+	if bv.GlueSpans(ns) != nil {
+		t.Error("glue must follow the host's zone (com), not the delegating zone")
+	}
+
+	// The nameserver appears on both shards (it serves domains in both
+	// zones); each shard sees only its own edges.
+	if got := cv.DomainsOf(ns); len(got) != 1 || got[0] != exCom {
+		t.Errorf("com shard DomainsOf(ns) = %v", got)
+	}
+	if got := bv.DomainsOf(ns); len(got) != 1 || got[0] != exBiz {
+		t.Errorf("biz shard DomainsOf(ns) = %v", got)
+	}
+
+	// Spans survive projection bit-identically.
+	want := v.EdgeSpans(exBiz, ns)
+	got := bv.EdgeSpans(exBiz, ns)
+	if got == nil || got.String() != want.String() {
+		t.Errorf("biz edge spans = %v, want %v", got, want)
+	}
+}
+
+// TestFilterShardCoversAllZones checks the n-way partition is a proper
+// partition: every zone lands on exactly one shard and the union of
+// shard views covers the source.
+func TestFilterShardCoversAllZones(t *testing.T) {
+	zones := []string{"com", "biz", "org", "net", "info"}
+	db := New()
+	for i, z := range zones {
+		zn := dnsname.MustParse(z)
+		dn := dnsname.MustParse("d" + z + "." + z)
+		db.DomainAdded(zn, dn, mustDay(t, "2020-01-01")+dates.Day(i))
+	}
+	db.Close(mustDay(t, "2020-02-01"))
+	v := db.View()
+
+	const n = 3
+	total := 0
+	for id := 0; id < n; id++ {
+		sv := v.FilterShard(id, n).View()
+		for _, z := range sv.Zones() {
+			if ShardOf(z, n) != id {
+				t.Errorf("zone %s on shard %d, want %d", z, id, ShardOf(z, n))
+			}
+		}
+		total += len(sv.Zones())
+	}
+	if total != len(zones) {
+		t.Errorf("shards cover %d zones, want %d", total, len(zones))
+	}
+}

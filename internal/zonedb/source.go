@@ -2,7 +2,6 @@ package zonedb
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
 	"io/fs"
 	"sort"
@@ -120,10 +119,10 @@ func (ing *Ingester) IngestAll(src SnapshotSource) error {
 
 // zoneWorker maps a zone to its owning worker. All snapshots of one zone
 // land on one worker, preserving per-zone ordering and gap validation.
+// It is the same partition the cluster layer uses to place zones on
+// shards (see ShardOf).
 func zoneWorker(zone dnsname.Name, workers int) int {
-	h := fnv.New32a()
-	h.Write([]byte(zone))
-	return int(h.Sum32() % uint32(workers))
+	return ShardOf(zone, workers)
 }
 
 // ingestParallel shards src across a zone-affine worker pool. The parent
